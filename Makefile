@@ -1,0 +1,49 @@
+# Convenience targets; everything is plain `go` underneath (stdlib only).
+
+GO ?= go
+
+.PHONY: all build test race cover bench experiments examples fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# The measured benchmark suite (one line per paper table/figure plus
+# kernel micro-benchmarks).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every evaluation artifact (Tables 1-3, Figures 6-8, §7.4,
+# §7.2, §5 nb tuning, §8 engines/spark).
+experiments:
+	$(GO) run repro/cmd/mrbench -exp all
+
+# Run every example end to end.
+examples:
+	$(GO) run repro/examples/quickstart
+	$(GO) run repro/examples/linsolve
+	$(GO) run repro/examples/inverseiteration
+	$(GO) run repro/examples/tomography
+	$(GO) run repro/examples/adaptive
+	$(GO) run repro/examples/faulttolerance
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+# Record the final outputs the repository ships with.
+record:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem -run='^$$' ./... 2>&1 | tee bench_output.txt

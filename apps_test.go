@@ -1,0 +1,156 @@
+package mrinverse
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func tridiag(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 2)
+		if i > 0 {
+			m.Set(i, i-1, -1)
+		}
+		if i < n-1 {
+			m.Set(i, i+1, -1)
+		}
+	}
+	return m
+}
+
+func TestInverseIterationSmallestEigenvalue(t *testing.T) {
+	n := 48
+	a := tridiag(n)
+	opts := DefaultOptions(4)
+	opts.NB = 16
+	res, err := InverseIteration(a, 0, 1e-12, 100, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := 2 - 2*math.Cos(math.Pi/float64(n+1))
+	if math.Abs(res.Eigenvalue-exact) > 1e-9 {
+		t.Fatalf("lambda = %v, want %v", res.Eigenvalue, exact)
+	}
+	// Verify the eigenpair: ||A v - lambda v|| small.
+	var worst float64
+	for i := 0; i < n; i++ {
+		var av float64
+		for j := 0; j < n; j++ {
+			av += a.At(i, j) * res.Eigenvector[j]
+		}
+		if d := math.Abs(av - res.Eigenvalue*res.Eigenvector[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-8 {
+		t.Fatalf("eigenpair residual %g", worst)
+	}
+	if res.Iterations < 1 {
+		t.Fatal("iterations not counted")
+	}
+}
+
+func TestInverseIterationWithShift(t *testing.T) {
+	// Target an interior eigenvalue of the tridiagonal operator.
+	n := 32
+	a := tridiag(n)
+	k := 5 // 0-based fifth eigenvalue
+	exact := 2 - 2*math.Cos(float64(k+1)*math.Pi/float64(n+1))
+	opts := DefaultOptions(2)
+	opts.NB = 16
+	res, err := InverseIteration(a, exact+1e-3, 1e-12, 200, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Eigenvalue-exact) > 1e-8 {
+		t.Fatalf("lambda = %v, want %v", res.Eigenvalue, exact)
+	}
+}
+
+func TestInverseIterationErrors(t *testing.T) {
+	opts := DefaultOptions(2)
+	if _, err := InverseIteration(NewMatrix(2, 3), 0, 0, 0, opts); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	if _, err := InverseIteration(NewMatrix(0, 0), 0, 0, 0, opts); err == nil {
+		t.Fatal("empty accepted")
+	}
+	// Singular shifted matrix (mu exactly an eigenvalue of a diagonal
+	// matrix) must surface an inversion error.
+	d := Identity(8)
+	if _, err := InverseIteration(d, 1.0, 0, 0, opts); err == nil {
+		t.Fatal("exactly-singular shift accepted")
+	}
+}
+
+func TestRayleighQuotient(t *testing.T) {
+	a := FromRows([][]float64{{2, 0}, {0, 5}})
+	l, err := RayleighQuotient(a, []float64{1, 0})
+	if err != nil || l != 2 {
+		t.Fatalf("rq = %v, %v", l, err)
+	}
+	if _, err := RayleighQuotient(a, []float64{0, 0}); err == nil {
+		t.Fatal("zero vector accepted")
+	}
+	if _, err := RayleighQuotient(a, []float64{1}); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+}
+
+func TestReconstructImage(t *testing.T) {
+	n := 40
+	m := DiagonallyDominant(n, 61)
+	img := make([]float64, n)
+	for i := range img {
+		img[i] = math.Exp(-0.1 * float64(i-20) * float64(i-20))
+	}
+	reading := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			reading[i] += m.At(i, j) * img[j]
+		}
+	}
+	opts := DefaultOptions(2)
+	opts.NB = 16
+	got, err := ReconstructImage(m, reading, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range img {
+		if math.Abs(got[i]-img[i]) > 1e-8 {
+			t.Fatalf("pixel %d: %v vs %v", i, got[i], img[i])
+		}
+	}
+}
+
+func TestConditionNumber(t *testing.T) {
+	opts := DefaultOptions(2)
+	opts.NB = 8
+	// kappa(I) = 1.
+	k, err := ConditionNumber(Identity(16), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k-1) > 1e-12 {
+		t.Fatalf("kappa(I) = %v", k)
+	}
+	// A diagonal matrix with spread [1, 100] has kappa = 100.
+	d := NewMatrix(16, 16)
+	for i := 0; i < 16; i++ {
+		d.Set(i, i, 1)
+	}
+	d.Set(0, 0, 100)
+	k, err = ConditionNumber(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k-100) > 1e-9 {
+		t.Fatalf("kappa = %v, want 100", k)
+	}
+	if _, err := ConditionNumber(NewMatrix(4, 4), opts); err == nil {
+		t.Fatal("singular accepted")
+	}
+	_ = errors.Is
+}

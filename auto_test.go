@@ -1,0 +1,74 @@
+package mrinverse
+
+import (
+	"testing"
+)
+
+func TestInvertSpark(t *testing.T) {
+	a := Random(72, 21)
+	inv, err := InvertSpark(a, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := Residual(a, inv); r > 1e-7 {
+		t.Fatalf("residual %g", r)
+	}
+	// Agrees with the MapReduce engine.
+	opts := DefaultOptions(4)
+	opts.NB = 16
+	mr, _, err := Invert(a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mr.Data {
+		if d := mr.Data[i] - inv.Data[i]; d > 1e-8 || d < -1e-8 {
+			t.Fatalf("spark and mapreduce disagree at %d", i)
+		}
+	}
+}
+
+func TestInvertSparkDefaults(t *testing.T) {
+	a := DiagonallyDominant(20, 22)
+	inv, err := InvertSpark(a, 0, 0) // degenerate params normalized
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := Residual(a, inv); r > 1e-9 {
+		t.Fatalf("residual %g", r)
+	}
+}
+
+func TestAutoInvertSmallPicksLocal(t *testing.T) {
+	a := Random(64, 23)
+	inv, choice, err := AutoInvert(a, ClusterSpec{Nodes: 16}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.Engine != "local" {
+		t.Fatalf("chose %s: %s", choice.Engine, choice.Reason)
+	}
+	if r := Residual(a, inv); r > 1e-8 {
+		t.Fatalf("residual %g", r)
+	}
+}
+
+func TestAutoInvertExecutesEveryEngine(t *testing.T) {
+	// Force each branch by matrix order (the model decides on order, the
+	// execution runs at this machine's scale on the same matrix).
+	a := Random(48, 24)
+
+	// local: small order.
+	if _, c, err := AutoInvert(a, ClusterSpec{Nodes: 8}, 0); err != nil || c.Engine != "local" {
+		t.Fatalf("local branch: %v / %+v", err, c)
+	}
+
+	// The other branches are exercised through the chooser directly in
+	// internal/costmodel tests; here verify the reason strings surface.
+	_, c, err := AutoInvert(a, ClusterSpec{Nodes: 8, Large: true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Reason == "" {
+		t.Fatal("no reason reported")
+	}
+}

@@ -1,0 +1,105 @@
+package mrinverse
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminantPipeline(t *testing.T) {
+	opts := DefaultOptions(4)
+	opts.NB = 16
+
+	// Known determinant: diagonal matrix.
+	d := NewMatrix(48, 48)
+	want := 1.0
+	for i := 0; i < 48; i++ {
+		v := 1 + 0.1*float64(i%7) - 0.3*float64(i%2)
+		d.Set(i, i, v)
+		want *= v
+	}
+	got, err := Determinant(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9*math.Abs(want) {
+		t.Fatalf("det = %g, want %g", got, want)
+	}
+}
+
+func TestDeterminantMatchesLocal(t *testing.T) {
+	a := Random(40, 31)
+	opts := DefaultOptions(4)
+	opts.NB = 12
+	got, err := Determinant(a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Local reference via the single-node factorization.
+	p, l, u, err := Decompose(a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = l
+	ref := float64(p.Sign())
+	for i := 0; i < u.Rows; i++ {
+		ref *= u.At(i, i)
+	}
+	if math.Abs(got-ref) > 1e-9*math.Abs(ref) {
+		t.Fatalf("det = %g vs %g", got, ref)
+	}
+	// And det(A)·det(A^-1) = 1.
+	inv, _, err := Invert(a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detInv, err := Determinant(inv, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got*detInv-1) > 1e-6 {
+		t.Fatalf("det(A)*det(A^-1) = %g", got*detInv)
+	}
+}
+
+func TestDeterminantSwapSign(t *testing.T) {
+	// A row-swapped identity has determinant -1. The swap stays inside
+	// the first leaf block (order nb=8) so every diagonal block the
+	// recursion factors remains nonsingular — the documented limitation
+	// of block-local pivoting.
+	a := Identity(32)
+	r0, r1 := a.Row(1), a.Row(3)
+	for k := range r0 {
+		r0[k], r1[k] = r1[k], r0[k]
+	}
+	opts := DefaultOptions(2)
+	opts.NB = 8
+	got, err := Determinant(a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got+1) > 1e-12 {
+		t.Fatalf("det = %g, want -1", got)
+	}
+}
+
+func TestRefinePublicAPI(t *testing.T) {
+	a := DiagonallyDominant(36, 32)
+	opts := DefaultOptions(4)
+	opts.NB = 12
+	inv, _, err := Invert(a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degrade then refine.
+	inv.Apply(func(i, j int, v float64) float64 { return v * (1 + 1e-5) })
+	refined, res, err := Refine(a, inv, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res > 1e-10 {
+		t.Fatalf("refined residual %g", res)
+	}
+	if r := Residual(a, refined); r > 1e-10 {
+		t.Fatalf("recomputed residual %g", r)
+	}
+}

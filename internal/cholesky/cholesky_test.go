@@ -1,0 +1,138 @@
+package cholesky
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lu"
+	"repro/internal/matrix"
+	"repro/internal/workload"
+)
+
+func TestDecomposeReconstructs(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 16, 40} {
+		a := workload.SPD(n, int64(n))
+		l, err := Decompose(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		llt, err := matrix.MulTransB(l, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := matrix.MaxAbsDiff(llt, a); d > 1e-8*(1+matrix.MaxAbs(a)) {
+			t.Fatalf("n=%d: LL^T differs by %g", n, d)
+		}
+		// L strictly lower triangular above diagonal.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if l.At(i, j) != 0 {
+					t.Fatal("L not lower triangular")
+				}
+			}
+			if l.At(i, i) <= 0 {
+				t.Fatal("non-positive diagonal")
+			}
+		}
+	}
+}
+
+func TestDecomposeRejectsNonSPD(t *testing.T) {
+	if _, err := Decompose(matrix.New(2, 3)); !errors.Is(err, ErrNotSPD) {
+		t.Fatalf("err = %v", err)
+	}
+	asym := matrix.FromRows([][]float64{{1, 2}, {3, 1}})
+	if _, err := Decompose(asym); !errors.Is(err, ErrNotSPD) {
+		t.Fatalf("err = %v", err)
+	}
+	indef := matrix.FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := Decompose(indef); !errors.Is(err, ErrNotSPD) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInvertMatchesLU(t *testing.T) {
+	a := workload.SPD(24, 91)
+	got, err := Invert(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := lu.Invert(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(got, want); d > 1e-8 {
+		t.Fatalf("Cholesky and LU inverses differ by %g", d)
+	}
+	res, err := matrix.IdentityResidual(a, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res > 1e-8 {
+		t.Fatalf("residual %g", res)
+	}
+}
+
+func TestSolveVec(t *testing.T) {
+	n := 30
+	a := workload.SPD(n, 92)
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = math.Sin(float64(i))
+	}
+	b, err := matrix.MulVec(a, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := SolveVec(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-9 {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+	if _, err := SolveVec(a, make([]float64, 3)); err == nil {
+		t.Fatal("short rhs accepted")
+	}
+}
+
+func TestLogDet(t *testing.T) {
+	// Diagonal SPD matrix: log det = sum log d_i.
+	n := 6
+	a := matrix.New(n, n)
+	want := 0.0
+	for i := 0; i < n; i++ {
+		v := float64(i + 2)
+		a.Set(i, i, v)
+		want += math.Log(v)
+	}
+	got, err := LogDet(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("logdet = %v, want %v", got, want)
+	}
+}
+
+// Property: for random SPD inputs, Cholesky inversion satisfies the
+// residual criterion.
+func TestQuickInvertSPD(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%16) + 1
+		a := workload.SPD(n, seed)
+		inv, err := Invert(a)
+		if err != nil {
+			return false
+		}
+		res, err := matrix.IdentityResidual(a, inv)
+		return err == nil && res < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

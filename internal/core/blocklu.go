@@ -1,0 +1,379 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/lu"
+	"repro/internal/mapreduce"
+	"repro/internal/matrix"
+)
+
+// Block LU decomposition as a pipeline of MapReduce jobs (Section 4.2 and
+// Algorithm 2). Each internal recursion node runs exactly one job whose
+// mappers compute L2' and U2 (Equation 6, via triangular solves) and whose
+// reducers compute B = A4 - L2'U2 with the block-wrap layout (Section 6.2,
+// Figure 5). Leaves are decomposed on the master with Algorithm 1.
+
+// computeLU decomposes the submatrix described by node and returns its
+// factor handle. jobs are appended to st's counters as they run.
+func (st *pipelineState) computeLU(node *nodeInput) (*luHandle, error) {
+	if node.n <= st.opts.NB {
+		return st.masterLU(node)
+	}
+	h := splitPoint(node.n)
+	a1, a2ref, a3ref, a4ref := node.quadrants()
+
+	// Step 1: recurse on A1 (Algorithm 2 line 6).
+	h1, err := st.computeLU(a1)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 2: one MapReduce job computes L2', U2 and B (lines 7-9).
+	hd, err := st.runLevelJob(node, h, h1, a2ref, a3ref, a4ref)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 3: recurse on B (line 10). Its partitioning is metadata only
+	// (Section 5.2): bRef slices are never materialized.
+	bRef := hd.bRef
+	bInput := &nodeInput{dir: node.dir + "/OUT", n: node.n - h, whole: &bRef}
+	h2, err := st.computeLU(bInput)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 4: combine (lines 11-13). With separate files this is pure
+	// metadata: the handle records children and band files; P = P1 ⊕ P2.
+	out := &luHandle{
+		n:  node.n,
+		h:  h,
+		h1: h1,
+		h2: h2,
+		l2: hd.l2,
+		u2: hd.u2,
+		p:  matrix.Augment(h1.p, h2.p),
+	}
+	if err := writePerm(st.fs, node.dir+"/p.bin", out.p); err != nil {
+		return nil, err
+	}
+	if !st.opts.SeparateFiles {
+		// Figure 7's unoptimized comparator: serially combine the factor
+		// files on the master after every job.
+		return st.combineLevel(node.dir, out)
+	}
+	return out, nil
+}
+
+// masterLU decomposes a leaf submatrix on the master node (Algorithm 2
+// lines 2-3) and writes its l/u/p files.
+func (st *pipelineState) masterLU(node *nodeInput) (*luHandle, error) {
+	ref := node.leafRef()
+	a, err := readAll(masterReader(st.fs), ref)
+	if err != nil {
+		return nil, fmt.Errorf("core: leaf %s: %w", node.dir, err)
+	}
+	f, err := lu.Decompose(a)
+	if err != nil {
+		if errors.Is(err, lu.ErrSingular) {
+			// The block method pivots only inside diagonal blocks
+			// (Section 4.2): a singular leaf does not necessarily mean a
+			// singular input. Surface a typed error so callers can fall
+			// back to a fully pivoted inverter.
+			return nil, fmt.Errorf("core: leaf %s of order %d: %w", node.dir, node.n, ErrSingularBlock)
+		}
+		return nil, fmt.Errorf("core: leaf %s: %w", node.dir, err)
+	}
+	st.masterDecompositions++
+	return st.writeLeaf(node.dir, f.L(), f.U(), f.P)
+}
+
+// writeLeaf stores explicit L and U factors (and P) as single files and
+// returns a leaf handle. U is stored transposed under the Section 6.3
+// optimization.
+func (st *pipelineState) writeLeaf(dir string, l, u *matrix.Dense, p matrix.Perm) (*luHandle, error) {
+	n := l.Rows
+	hd := &luHandle{n: n, leaf: true, p: p}
+	hd.lFile = blockFile{Path: dir + "/l.bin", R0: 0, R1: n, C0: 0, C1: n}
+	if err := st.fs.WriteMatrix(hd.lFile.Path, l); err != nil {
+		return nil, err
+	}
+	hd.uFile = blockFile{Path: dir + "/u.bin", R0: 0, R1: n, C0: 0, C1: n, Transposed: st.opts.TransposeU}
+	stored := u
+	if st.opts.TransposeU {
+		stored = u.Transpose()
+	}
+	if err := st.fs.WriteMatrix(hd.uFile.Path, stored); err != nil {
+		return nil, err
+	}
+	if err := writePerm(st.fs, dir+"/p.bin", p); err != nil {
+		return nil, err
+	}
+	return hd, nil
+}
+
+// combineLevel reads the full L and U of a freshly computed level and
+// rewrites them as single files — the serial master-side work the
+// Section 6.1 optimization eliminates.
+func (st *pipelineState) combineLevel(dir string, hd *luHandle) (*luHandle, error) {
+	rd := masterReader(st.fs)
+	l, err := hd.readL(rd)
+	if err != nil {
+		return nil, err
+	}
+	u, err := hd.readU(rd)
+	if err != nil {
+		return nil, err
+	}
+	st.masterCombines++
+	return st.writeLeaf(dir, l, u, hd.p)
+}
+
+// levelResult carries what one LU-level job produced.
+type levelResult struct {
+	l2   matRef
+	u2   matRef
+	bRef matRef
+}
+
+// runLevelJob executes the MapReduce job of one internal node: mappers
+// j < m0/2 compute L2' row bands, mappers j >= m0/2 compute U2 column
+// bands, and reducer j computes block j of B = A4 - L2'U2 (Figure 5).
+func (st *pipelineState) runLevelJob(node *nodeInput, h int, h1 *luHandle, a2ref, a3ref, a4ref matRef) (*levelResult, error) {
+	m0 := st.opts.Nodes
+	mhalf := m0 / 2
+	nbot := node.n - h
+	dir := node.dir
+	opts := st.opts
+
+	// Band layout is deterministic, so the master can precompute the
+	// references the reducers and the next recursion level will read.
+	res := &levelResult{
+		l2: matRef{Rows: nbot, Cols: h},
+		u2: matRef{Rows: h, Cols: nbot},
+	}
+	for j := 0; j < mhalf; j++ {
+		if lo, hi := bandBounds(nbot, mhalf, j); lo != hi {
+			res.l2.Blocks = append(res.l2.Blocks, blockFile{
+				Path: fmt.Sprintf("%s/L2/L.%d", dir, j), R0: lo, R1: hi, C0: 0, C1: h,
+			})
+		}
+		if lo, hi := bandBounds(nbot, mhalf, j); lo != hi {
+			res.u2.Blocks = append(res.u2.Blocks, blockFile{
+				Path: fmt.Sprintf("%s/U2/U.%d", dir, j), R0: 0, R1: h, C0: lo, C1: hi,
+				Transposed: opts.TransposeU,
+			})
+		}
+	}
+	f1, f2 := FactorPair(m0)
+	if !opts.BlockWrap {
+		f1, f2 = m0, 1
+	}
+	res.bRef = matRef{Rows: nbot, Cols: nbot}
+	for r := 0; r < m0; r++ {
+		rg, cg := r/f2, r%f2
+		rlo, rhi := bandBounds(nbot, f1, rg)
+		clo, chi := bandBounds(nbot, f2, cg)
+		if rlo == rhi || clo == chi {
+			continue
+		}
+		res.bRef.Blocks = append(res.bRef.Blocks, blockFile{
+			Path: fmt.Sprintf("%s/OUT/A.%d", dir, r), R0: rlo, R1: rhi, C0: clo, C1: chi,
+		})
+	}
+
+	job := &mapreduce.Job{
+		Name:      "lu:" + dir,
+		Splits:    mapreduce.ControlSplits(m0),
+		NumReduce: m0,
+		Partition: func(key string, n int) int {
+			var v int
+			fmt.Sscanf(key, "%d", &v)
+			return v % n
+		},
+		Map: func(ctx *mapreduce.TaskContext, split mapreduce.InputSplit, emit mapreduce.Emitter) error {
+			j := split.ID
+			rd := nodeReader{fs: ctx.FS, node: ctx.Node}
+			if j < mhalf {
+				if err := computeL2Band(rd, st, dir, j, mhalf, nbot, h1, a3ref); err != nil {
+					return err
+				}
+				if lo, hi := bandBounds(nbot, mhalf, j); hi > lo {
+					ctx.IncrCounter("l2.elements", int64(hi-lo)*int64(h))
+				}
+			} else {
+				if err := computeU2Band(rd, st, dir, j-mhalf, mhalf, nbot, h1, a2ref); err != nil {
+					return err
+				}
+				if lo, hi := bandBounds(nbot, mhalf, j-mhalf); hi > lo {
+					ctx.IncrCounter("u2.elements", int64(hi-lo)*int64(h))
+				}
+			}
+			emit.Emit(fmt.Sprintf("%d", j), nil)
+			return nil
+		},
+		Reduce: func(ctx *mapreduce.TaskContext, key string, values [][]byte, emit mapreduce.Emitter) error {
+			var r int
+			if _, err := fmt.Sscanf(key, "%d", &r); err != nil {
+				return err
+			}
+			if err := computeBBlock(nodeReader{fs: ctx.FS, node: ctx.Node}, st, dir, r, f1, f2, nbot, a4ref, res); err != nil {
+				return err
+			}
+			rg, cg := r/f2, r%f2
+			rlo, rhi := bandBounds(nbot, f1, rg)
+			clo, chi := bandBounds(nbot, f2, cg)
+			if rhi > rlo && chi > clo {
+				ctx.IncrCounter("b.elements", int64(rhi-rlo)*int64(chi-clo))
+			}
+			return nil
+		},
+	}
+	jr, err := st.cluster.Run(job)
+	if err != nil {
+		return nil, err
+	}
+	st.recordJob(jr)
+	return res, nil
+}
+
+// computeL2Band computes rows [lo, hi) of L2' from L2' U1 = A3
+// (Equation 6, first line — a row-wise substitution against U1).
+func computeL2Band(rd nodeReader, st *pipelineState, dir string, j, mhalf, nbot int, h1 *luHandle, a3ref matRef) error {
+	lo, hi := bandBounds(nbot, mhalf, j)
+	if lo == hi {
+		return nil
+	}
+	a3band, err := readRegion(rd, a3ref, lo, hi, 0, a3ref.Cols)
+	if err != nil {
+		return fmt.Errorf("core: L2' mapper %d: %w", j, err)
+	}
+	var band *matrix.Dense
+	if st.opts.TransposeU {
+		ut, err := h1.readUT(rd)
+		if err != nil {
+			return err
+		}
+		band, err = lu.SolveRowsUpperTrans(ut, a3band)
+		if err != nil {
+			return fmt.Errorf("core: L2' mapper %d: %w", j, err)
+		}
+	} else {
+		u1, err := h1.readU(rd)
+		if err != nil {
+			return err
+		}
+		band, err = lu.SolveRowsUpper(u1, a3band)
+		if err != nil {
+			return fmt.Errorf("core: L2' mapper %d: %w", j, err)
+		}
+	}
+	return st.fs.WriteMatrix(fmt.Sprintf("%s/L2/L.%d", dir, j), band)
+}
+
+// computeU2Band computes columns [lo, hi) of U2 from L1 U2 = P1 A2
+// (Equation 6, second line — forward substitution with unit L1).
+func computeU2Band(rd nodeReader, st *pipelineState, dir string, j, mhalf, nbot int, h1 *luHandle, a2ref matRef) error {
+	lo, hi := bandBounds(nbot, mhalf, j)
+	if lo == hi {
+		return nil
+	}
+	a2band, err := readRegion(rd, a2ref, 0, a2ref.Rows, lo, hi)
+	if err != nil {
+		return fmt.Errorf("core: U2 mapper %d: %w", j, err)
+	}
+	l1, err := h1.readL(rd)
+	if err != nil {
+		return err
+	}
+	band, err := lu.ForwardSubstMatrix(l1, h1.p.ApplyRows(a2band), true)
+	if err != nil {
+		return fmt.Errorf("core: U2 mapper %d: %w", j, err)
+	}
+	if st.opts.TransposeU {
+		band = band.Transpose()
+	}
+	return st.fs.WriteMatrix(fmt.Sprintf("%s/U2/U.%d", dir, j), band)
+}
+
+// computeBBlock computes one block-wrap block of B = A4 - L2'U2
+// (Figure 5's reduce side) and writes it to OUT/A.<r>.
+func computeBBlock(rd nodeReader, st *pipelineState, dir string, r, f1, f2, nbot int, a4ref matRef, res *levelResult) error {
+	rg, cg := r/f2, r%f2
+	rlo, rhi := bandBounds(nbot, f1, rg)
+	clo, chi := bandBounds(nbot, f2, cg)
+	if rlo == rhi || clo == chi {
+		return nil
+	}
+	a4blk, err := readRegion(rd, a4ref, rlo, rhi, clo, chi)
+	if err != nil {
+		return fmt.Errorf("core: reducer %d A4: %w", r, err)
+	}
+	l2rows, err := readRegion(rd, res.l2, rlo, rhi, 0, res.l2.Cols)
+	if err != nil {
+		return fmt.Errorf("core: reducer %d L2': %w", r, err)
+	}
+	var prod *matrix.Dense
+	if st.opts.TransposeU {
+		// Read the needed U2 columns in transposed orientation and use the
+		// Equation 8 row-dot kernel (Section 6.3).
+		u2t, err := readRegionTransposed(rd, res.u2, clo, chi)
+		if err != nil {
+			return fmt.Errorf("core: reducer %d U2^T: %w", r, err)
+		}
+		prod, err = matrix.MulTransB(l2rows, u2t)
+		if err != nil {
+			return err
+		}
+	} else {
+		u2cols, err := readRegion(rd, res.u2, 0, res.u2.Rows, clo, chi)
+		if err != nil {
+			return fmt.Errorf("core: reducer %d U2: %w", r, err)
+		}
+		// Unoptimized column-walk kernel (Equation 7).
+		prod, err = matrix.MulNaiveColumnOrder(l2rows, u2cols)
+		if err != nil {
+			return err
+		}
+	}
+	if err := matrix.SubInPlace(a4blk, prod); err != nil {
+		return err
+	}
+	return st.fs.WriteMatrix(fmt.Sprintf("%s/OUT/A.%d", dir, r), a4blk)
+}
+
+// readRegionTransposed reads columns [clo, chi) of a U2 reference whose
+// files are stored transposed, returning them as rows without ever
+// materializing the normal orientation.
+func readRegionTransposed(rd fsReader, u2 matRef, clo, chi int) (*matrix.Dense, error) {
+	// Build the transposed frame: file covering cols [C0, C1) of U2 holds
+	// rows [C0, C1) of U2^T.
+	t := matRef{Rows: u2.Cols, Cols: u2.Rows}
+	for _, b := range u2.Blocks {
+		if !b.Transposed {
+			// Mixed orientation should not happen; fall back to the
+			// normal path by transposing after read.
+			normal, err := readRegion(rd, u2, 0, u2.Rows, clo, chi)
+			if err != nil {
+				return nil, err
+			}
+			return normal.Transpose(), nil
+		}
+		t.Blocks = append(t.Blocks, blockFile{Path: b.Path, R0: b.C0, R1: b.C1, C0: b.R0, C1: b.R1})
+	}
+	return readRegion(rd, t, clo, chi, 0, t.Cols)
+}
+
+// readUT assembles U^T for a handle, used by the transposed solve kernel.
+func (hd *luHandle) readUT(rd fsReader) (*matrix.Dense, error) {
+	if hd.leaf && hd.uFile.Transposed {
+		return rd.readMatrix(hd.uFile.Path)
+	}
+	u, err := hd.readU(rd)
+	if err != nil {
+		return nil, err
+	}
+	return u.Transpose(), nil
+}

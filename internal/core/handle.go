@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// luHandle describes where the factors of one (sub)decomposition live in
+// the distributed file system. It is the master-side bookkeeping the paper
+// keeps in small index files: factor data itself stays distributed across
+// the N(d) separate files of Section 6.1 and is only assembled when a task
+// reads it.
+//
+// A leaf handle points at the single l/u/p files written after a
+// master-node decomposition (Algorithm 1). An internal handle points at
+// its two child handles plus the L2' and U2 band files produced by the
+// node's MapReduce job; following Section 5.3, L2 = P2 L2' is never
+// materialized — the permutation is applied as the factor is read.
+type luHandle struct {
+	n    int
+	leaf bool
+
+	// Leaf storage.
+	lFile, uFile blockFile
+
+	// Internal node storage.
+	h  int // split point: A1 is h x h
+	h1 *luHandle
+	h2 *luHandle
+	l2 matRef // (n-h) x h frame, unpermuted L2' bands
+	u2 matRef // h x (n-h) frame, U2 bands (Transposed flags per file)
+
+	// p is this (sub)matrix's combined row permutation.
+	p matrix.Perm
+}
+
+// fileCount returns the number of files storing one triangular factor
+// under this handle — the quantity N(d) of Section 6.1.
+func (hd *luHandle) fileCount() int {
+	if hd.leaf {
+		return 1
+	}
+	return hd.h1.fileCount() + hd.h2.fileCount() + len(hd.l2.Blocks)
+}
+
+// readL assembles the full unit lower triangular factor L. For internal
+// nodes it recursively assembles L1 and L3 and permutes L2' by P2 on the
+// fly ("L2 is constructed only as it is read from HDFS", Section 5.3).
+func (hd *luHandle) readL(rd fsReader) (*matrix.Dense, error) {
+	if hd.leaf {
+		m, err := rd.readMatrix(hd.lFile.Path)
+		if err != nil {
+			return nil, fmt.Errorf("core: readL: %w", err)
+		}
+		return m, nil
+	}
+	l1, err := hd.h1.readL(rd)
+	if err != nil {
+		return nil, err
+	}
+	l2p, err := readAll(rd, hd.l2)
+	if err != nil {
+		return nil, fmt.Errorf("core: readL L2': %w", err)
+	}
+	l3, err := hd.h2.readL(rd)
+	if err != nil {
+		return nil, err
+	}
+	out := matrix.New(hd.n, hd.n)
+	out.SetBlock(0, 0, l1)
+	out.SetBlock(hd.h, 0, hd.h2.p.ApplyRows(l2p))
+	out.SetBlock(hd.h, hd.h, l3)
+	return out, nil
+}
+
+// readU assembles the full upper triangular factor U in normal
+// orientation (transposed storage is undone during the read).
+func (hd *luHandle) readU(rd fsReader) (*matrix.Dense, error) {
+	if hd.leaf {
+		m, err := rd.readMatrix(hd.uFile.Path)
+		if err != nil {
+			return nil, fmt.Errorf("core: readU: %w", err)
+		}
+		if hd.uFile.Transposed {
+			m = m.Transpose()
+		}
+		return m, nil
+	}
+	u1, err := hd.h1.readU(rd)
+	if err != nil {
+		return nil, err
+	}
+	u2, err := readAll(rd, hd.u2)
+	if err != nil {
+		return nil, fmt.Errorf("core: readU U2: %w", err)
+	}
+	u3, err := hd.h2.readU(rd)
+	if err != nil {
+		return nil, err
+	}
+	out := matrix.New(hd.n, hd.n)
+	out.SetBlock(0, 0, u1)
+	out.SetBlock(0, hd.h, u2)
+	out.SetBlock(hd.h, hd.h, u3)
+	return out, nil
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/lu"
+	"repro/internal/mapreduce"
+	"repro/internal/matrix"
+)
+
+// The final MapReduce job (Section 5.4): mappers invert the triangular
+// factors column-independently (Equation 4) — half of them computing
+// interleaved columns of L^-1, the other half interleaved rows of U^-1
+// (as columns of (U^T)^-1) — and reducers multiply U^-1 L^-1 on a grid of
+// discrete rows x discrete columns (block wrap over interleaved index
+// classes, which balances load because triangular work varies by index),
+// applying the pivot permutation to produce A^-1.
+//
+// Permutation convention: from PA = LU it follows that
+// A^-1 = U^-1 L^-1 P, a *column* permutation of the product — column k of
+// U^-1 L^-1 becomes column p[k] of A^-1, which is what the reducers
+// apply. (The paper's Section 4.3 one-liner "[A^-1][S]ij = sum U^-1ik
+// L^-1kj" reads as a row scatter; with their S defined as "the permuted
+// row number for the i-th row" the two statements coincide — the
+// convention here is the one verified by the A*A^-1 = I tests.)
+
+// runInvertJob executes the job and assembles the final inverse.
+func (st *pipelineState) runInvertJob(hd *luHandle) (*matrix.Dense, error) {
+	m0 := st.opts.Nodes
+	mhalf := m0 / 2
+	n := hd.n
+	f1, f2 := FactorPair(m0)
+	if !st.opts.BlockWrap {
+		f1, f2 = m0, 1
+	}
+	root := st.opts.Root
+	p := hd.p
+
+	job := &mapreduce.Job{
+		Name:      "invert",
+		Splits:    mapreduce.ControlSplits(m0),
+		NumReduce: m0,
+		Partition: func(key string, nred int) int {
+			var v int
+			fmt.Sscanf(key, "%d", &v)
+			return v % nred
+		},
+		Map: func(ctx *mapreduce.TaskContext, split mapreduce.InputSplit, emit mapreduce.Emitter) error {
+			j := split.ID
+			rd := nodeReader{fs: ctx.FS, node: ctx.Node}
+			if j < mhalf {
+				if err := invertLColumns(rd, st, root, j, mhalf, f2, hd); err != nil {
+					return err
+				}
+			} else {
+				if err := invertURows(rd, st, root, j-mhalf, mhalf, f1, hd); err != nil {
+					return err
+				}
+			}
+			emit.Emit(fmt.Sprintf("%d", j), nil)
+			return nil
+		},
+		Reduce: func(ctx *mapreduce.TaskContext, key string, values [][]byte, emit mapreduce.Emitter) error {
+			var r int
+			if _, err := fmt.Sscanf(key, "%d", &r); err != nil {
+				return err
+			}
+			return multiplyInverseBlock(nodeReader{fs: ctx.FS, node: ctx.Node}, st, root, r, mhalf, f1, f2, n, p)
+		},
+	}
+	jr, err := st.cluster.Run(job)
+	if err != nil {
+		return nil, err
+	}
+	st.recordJob(jr)
+
+	// Assemble A^-1 from the reducers' indexed output blocks.
+	out := matrix.New(n, n)
+	rd := masterReader(st.fs)
+	for r := 0; r < m0; r++ {
+		path := fmt.Sprintf("%s/INV/A.%d", root, r)
+		if !st.fs.Exists(path) {
+			continue // empty grid cell (more nodes than rows)
+		}
+		blk, err := readIndexed(rd, path)
+		if err != nil {
+			return nil, err
+		}
+		for bi, gi := range blk.RowIdx {
+			row := blk.Data.Row(bi)
+			for bj, gj := range blk.ColIdx {
+				out.Set(gi, gj, row[bj])
+			}
+		}
+	}
+	return out, nil
+}
+
+// interleaved returns the sorted indices {k : k ≡ j (mod m), k < n} — the
+// paper's balanced assignment of non-contiguous columns to node j.
+func interleaved(n, m, j int) []int {
+	var out []int
+	for k := j; k < n; k += m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// invertLColumns computes L-mapper j's interleaved columns of L^-1 and
+// writes them grouped by column residue class mod f2, so that reducer
+// column-group t reads exactly the files ending in .t.
+func invertLColumns(rd nodeReader, st *pipelineState, root string, j, mhalf, f2 int, hd *luHandle) error {
+	n := hd.n
+	cols := interleaved(n, mhalf, j)
+	var compact *matrix.Dense
+	if st.opts.StreamingInversion {
+		var err error
+		compact, _, err = streamLowerInverseColumns(func(r0, r1 int) (*matrix.Dense, error) {
+			return hd.readLRows(rd, r0, r1)
+		}, n, cols, true, streamBandRows(n, st.opts.Nodes))
+		if err != nil {
+			return err
+		}
+	} else {
+		l, err := hd.readL(rd)
+		if err != nil {
+			return err
+		}
+		compact = compactColumns(l, cols, true)
+	}
+	return writeInterleavedGroups(st, fmt.Sprintf("%s/LINV/L.%d", root, j), compact, cols, f2, false)
+}
+
+// invertURows computes U-mapper j's interleaved rows of U^-1 by inverting
+// the corresponding columns of (U^T)^-1 (the Section 4.1 transpose trick),
+// grouped by row residue class mod f1.
+func invertURows(rd nodeReader, st *pipelineState, root string, j, mhalf, f1 int, hd *luHandle) error {
+	n := hd.n
+	rows := interleaved(n, mhalf, j)
+	var compact *matrix.Dense
+	if st.opts.StreamingInversion {
+		var err error
+		compact, _, err = streamLowerInverseColumns(func(r0, r1 int) (*matrix.Dense, error) {
+			return hd.readUTRows(rd, r0, r1)
+		}, n, rows, false, streamBandRows(n, st.opts.Nodes))
+		if err != nil {
+			return err
+		}
+	} else {
+		ut, err := hd.readUT(rd)
+		if err != nil {
+			return err
+		}
+		compact = compactColumns(ut, rows, false)
+	}
+	// Column r of (U^T)^-1 is row r of U^-1.
+	return writeInterleavedGroups(st, fmt.Sprintf("%s/UINV/U.%d", root, j), compact, rows, f1, true)
+}
+
+// streamBandRows picks the streaming band height: one m0-th of the order,
+// at least one row.
+func streamBandRows(n, m0 int) int {
+	b := n / m0
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// compactColumns computes the idx columns of the inverse of lower
+// triangular lt into an n x len(idx) matrix (the in-memory path).
+func compactColumns(lt *matrix.Dense, idx []int, unit bool) *matrix.Dense {
+	n := lt.Rows
+	dst := matrix.New(n, n)
+	for _, c := range idx {
+		lu.InvertLowerColumn(lt, c, unit, dst)
+	}
+	out := matrix.New(n, len(idx))
+	for bi, c := range idx {
+		for r := 0; r < n; r++ {
+			out.Set(r, bi, dst.At(r, c))
+		}
+	}
+	return out
+}
+
+// writeInterleavedGroups splits the compact column block (column bi is
+// global index idx[bi]) into residue classes mod m and writes one indexed
+// file per non-empty class. asRows stores each class transposed, i.e. the
+// columns become rows of the stored block (used for U^-1 whose natural
+// unit is a row).
+func writeInterleavedGroups(st *pipelineState, base string, compact *matrix.Dense, idx []int, m int, asRows bool) error {
+	n := compact.Rows
+	for t := 0; t < m; t++ {
+		var group []int
+		var groupAt []int
+		for bi, c := range idx {
+			if c%m == t {
+				group = append(group, c)
+				groupAt = append(groupAt, bi)
+			}
+		}
+		if len(group) == 0 {
+			continue
+		}
+		block := matrix.New(n, len(group))
+		for gi, bi := range groupAt {
+			for r := 0; r < n; r++ {
+				block.Set(r, gi, compact.At(r, bi))
+			}
+		}
+		ib := indexedBlock{ColIdx: group, Data: block}
+		if asRows {
+			ib = indexedBlock{RowIdx: group, Data: block.Transpose()}
+		}
+		if err := writeIndexed(st.fs, fmt.Sprintf("%s.%d", base, t), ib); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// multiplyInverseBlock computes reducer r's grid block of U^-1 L^-1: rows
+// of U^-1 with index ≡ r/f2 (mod f1) times columns of L^-1 with index
+// ≡ r%f2 (mod f2). The result columns are scattered through the pivot
+// permutation P (A^-1 = U^-1 L^-1 P) and written as an indexed block.
+func multiplyInverseBlock(rd nodeReader, st *pipelineState, root string, r, mhalf, f1, f2, n int, p matrix.Perm) error {
+	rg, cg := r/f2, r%f2
+
+	// Gather U^-1 rows ≡ rg (mod f1) from the U-mappers' .rg files.
+	var uRows []int
+	uData := make(map[int][]float64)
+	for i := 0; i < mhalf; i++ {
+		path := fmt.Sprintf("%s/UINV/U.%d.%d", root, i, rg)
+		if !st.fs.Exists(path) {
+			continue
+		}
+		blk, err := readIndexed(rd, path)
+		if err != nil {
+			return err
+		}
+		for bi, gidx := range blk.RowIdx {
+			uRows = append(uRows, gidx)
+			uData[gidx] = blk.Data.Row(bi)
+		}
+	}
+	// Gather L^-1 columns ≡ cg (mod f2) from the L-mappers' .cg files.
+	var lCols []int
+	lData := make(map[int][]float64)
+	for i := 0; i < mhalf; i++ {
+		path := fmt.Sprintf("%s/LINV/L.%d.%d", root, i, cg)
+		if !st.fs.Exists(path) {
+			continue
+		}
+		blk, err := readIndexed(rd, path)
+		if err != nil {
+			return err
+		}
+		for bj, gidx := range blk.ColIdx {
+			col := make([]float64, blk.Data.Rows)
+			for row := 0; row < blk.Data.Rows; row++ {
+				col[row] = blk.Data.At(row, bj)
+			}
+			lCols = append(lCols, gidx)
+			lData[gidx] = col
+		}
+	}
+	if len(uRows) == 0 || len(lCols) == 0 {
+		return nil
+	}
+	sort.Ints(uRows)
+	sort.Ints(lCols)
+
+	// C[i][j] = dot(U^-1 row i, L^-1 col j); final column index is p[j].
+	out := matrix.New(len(uRows), len(lCols))
+	colIdx := make([]int, len(lCols))
+	for bj, c := range lCols {
+		colIdx[bj] = p[c]
+	}
+	for bi, ri := range uRows {
+		urow := uData[ri]
+		orow := out.Row(bi)
+		for bj, c := range lCols {
+			orow[bj] = matrix.Dot(urow, lData[c])
+		}
+	}
+	return writeIndexed(st.fs, fmt.Sprintf("%s/INV/A.%d", root, r),
+		indexedBlock{RowIdx: uRows, ColIdx: colIdx, Data: out})
+}

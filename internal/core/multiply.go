@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mapreduce"
+	"repro/internal/matrix"
+)
+
+// Standalone MapReduce jobs built from the pipeline's machinery:
+//
+//   - Multiply exposes the Section 6.2 block-wrap matrix multiplication
+//     as its own job (the paper's reducers perform exactly this product
+//     for B = A4 - L2'U2 and for U^-1 L^-1);
+//   - Solve runs the decomposition stages once and then solves A X = B by
+//     triangular substitution in a map-only job — the Section 1 linear
+//     system application without ever forming A^-1 (2n^2 work per right
+//     hand side instead of the n^3 inversion).
+
+// Multiply computes C = A * B with one MapReduce job. A map-only prologue
+// inside the job's mappers stores A as f1 row bands and B as f2
+// transposed column bands; reducer r computes block (r/f2, r%f2) of C by
+// the block-wrap rule, reading n^2 (1/f1 + 1/f2) elements instead of the
+// naive (1 + 1/m0) n^2 (Section 6.2).
+func (p *Pipeline) Multiply(a, b *matrix.Dense) (*matrix.Dense, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("core: Multiply: %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	m0 := p.Opts.Nodes
+	f1, f2 := FactorPair(m0)
+	if !p.Opts.BlockWrap {
+		f1, f2 = m0, 1
+	}
+	root := p.Opts.Root + "/MUL"
+	p.FS.DeleteTree(root)
+
+	job := &mapreduce.Job{
+		Name:      "multiply",
+		Splits:    mapreduce.ControlSplits(m0),
+		NumReduce: m0,
+		Partition: func(key string, n int) int {
+			var v int
+			fmt.Sscanf(key, "%d", &v)
+			return v % n
+		},
+		Map: func(ctx *mapreduce.TaskContext, split mapreduce.InputSplit, emit mapreduce.Emitter) error {
+			j := split.ID
+			// Mapper j stores row band j of A (j < f1) and transposed
+			// column band j of B (j < f2) — the Section 6.3 orientation
+			// so the reducers' inner products walk rows. With f1*f2 = m0
+			// every band has a writer and no file has two.
+			if j < f1 {
+				lo, hi := bandBounds(a.Rows, f1, j)
+				if lo != hi {
+					if err := ctx.FS.WriteMatrix(fmt.Sprintf("%s/A.%d", root, j), a.Block(lo, hi, 0, a.Cols)); err != nil {
+						return err
+					}
+				}
+			}
+			if j < f2 {
+				lo, hi := bandBounds(b.Cols, f2, j)
+				if lo != hi {
+					if err := ctx.FS.WriteMatrix(fmt.Sprintf("%s/BT.%d", root, j), b.Block(0, b.Rows, lo, hi).Transpose()); err != nil {
+						return err
+					}
+				}
+			}
+			emit.Emit(fmt.Sprintf("%d", j), nil)
+			return nil
+		},
+		Reduce: func(ctx *mapreduce.TaskContext, key string, values [][]byte, emit mapreduce.Emitter) error {
+			var r int
+			if _, err := fmt.Sscanf(key, "%d", &r); err != nil {
+				return err
+			}
+			rg, cg := r/f2, r%f2
+			rlo, rhi := bandBounds(a.Rows, f1, rg)
+			clo, chi := bandBounds(b.Cols, f2, cg)
+			if rlo == rhi || clo == chi {
+				return nil
+			}
+			rd := nodeReader{fs: ctx.FS, node: ctx.Node}
+			aband, err := rd.readMatrix(fmt.Sprintf("%s/A.%d", root, rg))
+			if err != nil {
+				return err
+			}
+			btband, err := rd.readMatrix(fmt.Sprintf("%s/BT.%d", root, cg))
+			if err != nil {
+				return err
+			}
+			blk, err := matrix.MulTransB(aband, btband)
+			if err != nil {
+				return err
+			}
+			ctx.IncrCounter("mul.elements", int64(blk.Rows)*int64(blk.Cols))
+			return ctx.FS.WriteMatrix(fmt.Sprintf("%s/C.%d", root, r), blk)
+		},
+	}
+	if _, err := p.Cluster.Run(job); err != nil {
+		return nil, err
+	}
+
+	out := matrix.New(a.Rows, b.Cols)
+	rd := masterReader(p.FS)
+	for r := 0; r < m0; r++ {
+		rg, cg := r/f2, r%f2
+		rlo, rhi := bandBounds(a.Rows, f1, rg)
+		clo, chi := bandBounds(b.Cols, f2, cg)
+		if rlo == rhi || clo == chi {
+			continue
+		}
+		blk, err := rd.readMatrix(fmt.Sprintf("%s/C.%d", root, r))
+		if err != nil {
+			return nil, err
+		}
+		out.SetBlock(rlo, clo, blk)
+	}
+	return out, nil
+}
+
+// Solve computes X with A X = B through the decomposition pipeline: the
+// partition and block-LU jobs run once, then a map-only job forward- and
+// back-substitutes disjoint bands of B's columns against the factor files.
+func (p *Pipeline) Solve(a, b *matrix.Dense) (*matrix.Dense, error) {
+	if !a.IsSquare() || a.Rows != b.Rows {
+		return nil, fmt.Errorf("core: Solve: A is %dx%d, B is %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	st := &pipelineState{opts: p.Opts, fs: p.FS, cluster: p.Cluster}
+	n := a.Rows
+	if err := writeInputBands(p.FS, p.Opts, a, p.Opts.Nodes); err != nil {
+		return nil, err
+	}
+	pj, err := p.Cluster.Run(partitionJob(p.Opts, n, p.FS))
+	if err != nil {
+		return nil, err
+	}
+	st.recordJob(pj)
+	tree, err := buildInputTree(p.Opts, n, pj.Output)
+	if err != nil {
+		return nil, err
+	}
+	hd, err := st.computeLU(tree)
+	if err != nil {
+		return nil, err
+	}
+
+	// Store B as column bands so each solver mapper reads only its own.
+	m0 := p.Opts.Nodes
+	root := p.Opts.Root + "/SOLVE"
+	p.FS.DeleteTree(root)
+	for j := 0; j < m0; j++ {
+		lo, hi := bandBounds(b.Cols, m0, j)
+		if lo == hi {
+			continue
+		}
+		if err := p.FS.WriteMatrix(fmt.Sprintf("%s/B.%d", root, j), b.Block(0, n, lo, hi)); err != nil {
+			return nil, err
+		}
+	}
+	perm := hd.p
+
+	job := &mapreduce.Job{
+		Name:   "solve",
+		Splits: mapreduce.ControlSplits(m0),
+		Map: func(ctx *mapreduce.TaskContext, split mapreduce.InputSplit, emit mapreduce.Emitter) error {
+			j := split.ID
+			lo, hi := bandBounds(b.Cols, m0, j)
+			if lo == hi {
+				return nil
+			}
+			rd := nodeReader{fs: ctx.FS, node: ctx.Node}
+			bband, err := rd.readMatrix(fmt.Sprintf("%s/B.%d", root, j))
+			if err != nil {
+				return err
+			}
+			l, err := hd.readL(rd)
+			if err != nil {
+				return err
+			}
+			u, err := hd.readU(rd)
+			if err != nil {
+				return err
+			}
+			// Forward: L Y = P B; backward: U X = Y (column-wise).
+			x := perm.ApplyRows(bband)
+			for c := 0; c < x.Cols; c++ {
+				for i := 0; i < n; i++ {
+					s := x.At(i, c)
+					for t := 0; t < i; t++ {
+						s -= l.At(i, t) * x.At(t, c)
+					}
+					x.Set(i, c, s)
+				}
+				for i := n - 1; i >= 0; i-- {
+					s := x.At(i, c)
+					for t := i + 1; t < n; t++ {
+						s -= u.At(i, t) * x.At(t, c)
+					}
+					x.Set(i, c, s/u.At(i, i))
+				}
+			}
+			ctx.IncrCounter("solve.columns", int64(hi-lo))
+			return ctx.FS.WriteMatrix(fmt.Sprintf("%s/X.%d", root, j), x)
+		},
+	}
+	jr, err := p.Cluster.Run(job)
+	if err != nil {
+		return nil, err
+	}
+	st.recordJob(jr)
+
+	out := matrix.New(n, b.Cols)
+	rd := masterReader(p.FS)
+	for j := 0; j < m0; j++ {
+		lo, hi := bandBounds(b.Cols, m0, j)
+		if lo == hi {
+			continue
+		}
+		xband, err := rd.readMatrix(fmt.Sprintf("%s/X.%d", root, j))
+		if err != nil {
+			return nil, err
+		}
+		out.SetBlock(0, lo, xband)
+	}
+	return out, nil
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/lu"
+	"repro/internal/matrix"
+	"repro/internal/workload"
+)
+
+func TestMultiplyJob(t *testing.T) {
+	for _, nodes := range []int{2, 4, 8} {
+		opts := DefaultOptions(nodes)
+		p, err := NewPipeline(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := workload.RandomRect(37, 23, int64(nodes))
+		b := workload.RandomRect(23, 41, int64(nodes+1))
+		got, err := p.Multiply(a, b)
+		if err != nil {
+			t.Fatalf("nodes=%d: %v", nodes, err)
+		}
+		want, err := matrix.Mul(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := matrix.MaxAbsDiff(got, want); d > 1e-12 {
+			t.Fatalf("nodes=%d: product differs by %g", nodes, d)
+		}
+	}
+}
+
+func TestMultiplyJobShapeError(t *testing.T) {
+	p, err := NewPipeline(DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Multiply(matrix.New(2, 3), matrix.New(2, 3)); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestMultiplyBlockWrapReadsLessThanNaive(t *testing.T) {
+	// Section 6.2 measured at the job level, isolated from the rest of
+	// the pipeline: block wrap reads (f1+f2)/(m0+1) of the naive volume.
+	a := workload.Random(96, 77)
+	b := workload.Random(96, 78)
+	read := func(wrap bool) int64 {
+		opts := DefaultOptions(16)
+		opts.BlockWrap = wrap
+		p, err := NewPipeline(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.FS.ResetStats()
+		if _, err := p.Multiply(a, b); err != nil {
+			t.Fatal(err)
+		}
+		return p.FS.Stats().BytesRead
+	}
+	wrapped := read(true)
+	naive := read(false)
+	if wrapped >= naive {
+		t.Fatalf("block wrap read %d >= naive %d", wrapped, naive)
+	}
+}
+
+func TestSolvePipeline(t *testing.T) {
+	n, k := 72, 9
+	a := workload.Random(n, 79)
+	x := workload.RandomRect(n, k, 80)
+	b, err := matrix.Mul(a, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(4)
+	opts.NB = 20
+	p, err := NewPipeline(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(got, x); d > 1e-8 {
+		t.Fatalf("solve error %g", d)
+	}
+}
+
+func TestSolveMatchesInverseRoute(t *testing.T) {
+	n := 48
+	a := workload.Random(n, 81)
+	b := workload.RandomRect(n, 5, 82)
+	opts := DefaultOptions(4)
+	opts.NB = 16
+
+	p1, err := NewPipeline(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := p1.Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := lu.Decompose(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaLU, err := f.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(direct, viaLU); d > 1e-8 {
+		t.Fatalf("pipeline solve differs from reference by %g", d)
+	}
+}
+
+func TestSolveShapeErrors(t *testing.T) {
+	p, err := NewPipeline(DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Solve(matrix.New(3, 4), matrix.New(3, 1)); err == nil {
+		t.Fatal("non-square A accepted")
+	}
+	if _, err := p.Solve(matrix.New(3, 3), matrix.New(4, 1)); err == nil {
+		t.Fatal("mismatched B accepted")
+	}
+}
+
+func TestSolveFewerJobsThanInvert(t *testing.T) {
+	// Solving runs partition + LU + one solve job: one fewer dependency
+	// on the triangular-inversion machinery, and no n^3 inversion work.
+	n := 64
+	a := workload.Random(n, 83)
+	b := workload.RandomRect(n, 2, 84)
+	opts := DefaultOptions(4)
+	opts.NB = 16
+	p, err := NewPipeline(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := p.Cluster.JobsRun()
+	if _, err := p.Solve(a, b); err != nil {
+		t.Fatal(err)
+	}
+	jobs := p.Cluster.JobsRun() - before
+	if jobs != PipelineJobs(n, opts.NB) {
+		// Same count: partition + LU jobs + 1 solve job (instead of the
+		// inversion job).
+		t.Fatalf("solve ran %d jobs, want %d", jobs, PipelineJobs(n, opts.NB))
+	}
+}

@@ -1,0 +1,189 @@
+// Package core implements the HPDC 2014 paper's contribution: scalable
+// matrix inversion as a pipeline of MapReduce jobs built on recursive block
+// LU decomposition.
+//
+// The pipeline (Figure 2 of the paper) is:
+//
+//	partition job -> 2^d - 1 block-LU jobs -> triangular-inversion job
+//
+// where d = ceil(log2(n/nb)) is the recursion depth and nb is the "bound
+// value": the order of the largest submatrix the MapReduce master
+// decomposes locally with Algorithm 1. Each block-LU job computes L2' and
+// U2 in its mappers (Equation 6) and B = A4 - L2'U2 in its reducers
+// (Figure 5); the final job inverts L and U column-independently in its
+// mappers (Equation 4) and multiplies U^-1 L^-1 with the block-wrap layout
+// in its reducers, undoing pivoting by a column permutation (Section 5.4).
+//
+// The three Section 6 optimizations — separate intermediate files, block
+// wrap, transposed U storage — are implemented and individually togglable
+// so the Figure 7 ablation can be reproduced.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DefaultNB is the default bound value for laptop-scale runs. The paper
+// uses 3200 on EC2; tests use much smaller values to force deep pipelines
+// at small orders.
+const DefaultNB = 512
+
+// Options configures the inversion pipeline.
+type Options struct {
+	// NB is the bound value n_b: submatrices of order <= NB are
+	// LU-decomposed on the master node (Section 5).
+	NB int
+	// Nodes is m0, the number of compute nodes. It must be even and >= 2
+	// so the per-job mapper population can split half L2' / half U2
+	// (Figure 5); Validate rounds odd values up.
+	Nodes int
+	// SeparateFiles keeps every intermediate factor in its own file
+	// (Section 6.1). When false the master serially combines L and U
+	// files after every job — the unoptimized comparator of Figure 7.
+	SeparateFiles bool
+	// BlockWrap uses the f1 x f2 block-wrap layout for the two matrix
+	// multiplications (Section 6.2). When false each reducer reads one
+	// full operand — the naive layout of Figure 7.
+	BlockWrap bool
+	// TransposeU stores upper triangular factors transposed so inner
+	// products walk rows (Section 6.3).
+	TransposeU bool
+	// Root is the HDFS work directory ("Root" in Figure 4).
+	Root string
+	// StreamingInversion makes the triangular-inversion mappers read the
+	// factors in row bands instead of assembling them whole, bounding
+	// per-task memory to one band plus the output columns — how the
+	// paper's 42 GB factors fit 3.7 GB workers.
+	StreamingInversion bool
+	// TextInput stores and reads the input matrix in the paper's text
+	// format ("a.txt") instead of binary — roughly 2.5x the bytes
+	// (Table 3's Text vs Binary columns), visible in the partition job's
+	// read accounting.
+	TextInput bool
+}
+
+// DefaultOptions returns the paper's optimized configuration on m0 nodes.
+func DefaultOptions(nodes int) Options {
+	return Options{
+		NB:            DefaultNB,
+		Nodes:         nodes,
+		SeparateFiles: true,
+		BlockWrap:     true,
+		TransposeU:    true,
+		Root:          "Root",
+	}
+}
+
+// ErrBadOptions reports an invalid configuration.
+var ErrBadOptions = errors.New("core: invalid options")
+
+// ErrSingularBlock reports that a diagonal block of the recursion was
+// singular. Because the block method pivots only within blocks, this can
+// happen for invertible inputs; callers should fall back to a fully
+// pivoted inverter (e.g. lu.Invert or the ScaLAPACK baseline).
+var ErrSingularBlock = errors.New("core: singular diagonal block (block-local pivoting)")
+
+// Validate normalizes o and reports configuration errors.
+func (o *Options) Validate() error {
+	if o.NB < 1 {
+		return fmt.Errorf("core: NB = %d: %w", o.NB, ErrBadOptions)
+	}
+	if o.Nodes < 2 {
+		o.Nodes = 2
+	}
+	if o.Nodes%2 == 1 {
+		o.Nodes++
+	}
+	if o.Root == "" {
+		o.Root = "Root"
+	}
+	return nil
+}
+
+// Depth returns the recursion depth d = ceil(log2(n/nb)) of the block LU
+// decomposition: the number of times the matrix halves before submatrices
+// fit on the master node. Depth is 0 when n <= nb.
+func Depth(n, nb int) int {
+	if nb < 1 {
+		nb = 1
+	}
+	d := 0
+	for n > nb {
+		// ceil(n/2): rounding up keeps every leaf at or below nb.
+		n = (n + 1) / 2
+		d++
+	}
+	return d
+}
+
+// LUJobs returns the number of MapReduce jobs in the LU phase for a
+// *uniform* recursion of depth d: each internal node contributes one job
+// (computing L2', U2, and B), giving 2^d - 1. This is the paper's
+// "2^ceil(log2 n/nb)" estimate; LUJobCount gives the exact value when
+// rounding makes the tree asymmetric.
+func LUJobs(d int) int {
+	return (1 << uint(d)) - 1
+}
+
+// LUJobCount returns the exact number of LU-phase jobs for an order-n
+// matrix: the recursion splits into A1 of order ceil(n/2) and B of order
+// floor(n/2), whose depths can differ by one when n is not a power of two
+// times nb (the paper's "modulo rounding" caveat, Section 4.2).
+func LUJobCount(n, nb int) int {
+	if nb < 1 {
+		nb = 1
+	}
+	if n <= nb {
+		return 0
+	}
+	h := splitPoint(n)
+	return 1 + LUJobCount(h, nb) + LUJobCount(n-h, nb)
+}
+
+// PipelineJobs returns the total number of MapReduce jobs to invert an
+// order-n matrix with bound nb: one partition job, the LU-phase jobs, and
+// one triangular-inversion/final-output job. For the paper's nb = 3200
+// this reproduces the "Number of Jobs" column of Table 3
+// (M1: 9, M2: 17, M3: 17, M4: 33, M5: 9).
+func PipelineJobs(n, nb int) int {
+	return 1 + LUJobCount(n, nb) + 1
+}
+
+// SeparateFileCount returns N(d), the number of files storing one
+// triangular factor under the Section 6.1 optimization:
+// N(d) = 2^d + (m0/2)(2^d - 1). Leaves contribute one file each (2^d of
+// them); every internal node contributes m0/2 band files for L2' (or U2).
+func SeparateFileCount(d, m0 int) int {
+	p := 1 << uint(d)
+	return p + m0/2*(p-1)
+}
+
+// FactorPair returns the block-wrap process grid (f1, f2) for m0 nodes:
+// f2 <= f1, f1*f2 = m0, with no other factor of m0 between them
+// (Section 6.2 chooses |f1 - f2| as small as possible).
+func FactorPair(m0 int) (f1, f2 int) {
+	if m0 < 1 {
+		return 1, 1
+	}
+	for f := 1; f*f <= m0; f++ {
+		if m0%f == 0 {
+			f2 = f
+		}
+	}
+	return m0 / f2, f2
+}
+
+// NaiveReadVolume returns the total bytes-equivalent element reads of the
+// naive multiplication layout on m0 nodes for an n x n product:
+// (m0 + 1) n^2 elements (Section 6.2).
+func NaiveReadVolume(n, m0 int) int64 {
+	return int64(m0+1) * int64(n) * int64(n)
+}
+
+// BlockWrapReadVolume returns the element reads of the block-wrap layout:
+// (f1 + f2) n^2 (Section 6.2).
+func BlockWrapReadVolume(n, m0 int) int64 {
+	f1, f2 := FactorPair(m0)
+	return int64(f1+f2) * int64(n) * int64(n)
+}

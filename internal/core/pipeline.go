@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/mapreduce"
+	"repro/internal/matrix"
+)
+
+// Pipeline is the paper's end-to-end matrix inverter: it owns a simulated
+// cluster (MapReduce engine + distributed file system) and runs the
+// Figure 2 job pipeline — partition, 2^d - 1 block-LU jobs, and the final
+// triangular-inversion job — against it.
+type Pipeline struct {
+	Opts    Options
+	FS      *dfs.FS
+	Cluster *mapreduce.Cluster
+}
+
+// JobSummary is one executed MapReduce job's line in the report.
+type JobSummary struct {
+	Name        string
+	MapTasks    int
+	ReduceTasks int
+	Failures    int
+	Elapsed     time.Duration
+}
+
+// Report summarizes one inversion run.
+type Report struct {
+	Order          int
+	NB             int
+	Nodes          int
+	Depth          int
+	F1, F2         int
+	JobsRun        int              // MapReduce jobs executed
+	ExpectedJobs   int              // PipelineJobs(n, nb)
+	MapTasks       int              // total map tasks across jobs
+	ReduceTasks    int              // total reduce tasks across jobs
+	TaskFailures   int              // failed task attempts (recovered)
+	Speculative    int              // speculative backup attempts launched
+	MasterLUs      int              // leaf decompositions on the master
+	MasterCombines int              // file combinations (SeparateFiles=false)
+	LFactorFiles   int              // files storing L (N(d) when separate)
+	Counters       map[string]int64 // Hadoop-style counters across all jobs
+	Jobs           []JobSummary     // per-job breakdown in execution order
+	FS             dfs.Stats        // byte accounting deltas for this run
+	Elapsed        time.Duration    // wall-clock for the whole pipeline
+	JobElapsed     time.Duration    // sum of per-job recorded times
+}
+
+// pipelineState threads the shared pieces through the recursion.
+type pipelineState struct {
+	opts    Options
+	fs      *dfs.FS
+	cluster *mapreduce.Cluster
+
+	jobsRun              int
+	jobLog               []JobSummary
+	mapTasks             int
+	reduceTasks          int
+	taskFailures         int
+	speculative          int
+	masterDecompositions int
+	masterCombines       int
+	counters             map[string]int64
+	jobElapsed           time.Duration
+}
+
+func (st *pipelineState) recordJob(jr *mapreduce.JobResult) {
+	st.jobsRun++
+	st.jobLog = append(st.jobLog, JobSummary{
+		Name:        jr.Job,
+		MapTasks:    jr.MapTasks,
+		ReduceTasks: jr.ReduceTasks,
+		Failures:    jr.TaskFailures,
+		Elapsed:     jr.Elapsed,
+	})
+	st.mapTasks += jr.MapTasks
+	st.reduceTasks += jr.ReduceTasks
+	st.taskFailures += jr.TaskFailures
+	st.speculative += jr.SpeculativeTasks
+	st.jobElapsed += jr.Elapsed
+	if st.counters == nil {
+		st.counters = map[string]int64{}
+	}
+	for k, v := range jr.Counters {
+		st.counters[k] += v
+	}
+}
+
+// NewPipeline builds a pipeline with its own simulated cluster: opts.Nodes
+// task slots over opts.Nodes datanodes with HDFS-style 3x replication.
+func NewPipeline(opts Options) (*Pipeline, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	fs := dfs.New(opts.Nodes, dfs.DefaultReplication)
+	cl := mapreduce.NewCluster(fs, opts.Nodes)
+	return &Pipeline{Opts: opts, FS: fs, Cluster: cl}, nil
+}
+
+// NewPipelineOn builds a pipeline over an existing file system and
+// cluster, so callers can share state, inject failures, or configure
+// launch overhead.
+func NewPipelineOn(opts Options, fs *dfs.FS, cl *mapreduce.Cluster) (*Pipeline, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return &Pipeline{Opts: opts, FS: fs, Cluster: cl}, nil
+}
+
+// Invert computes A^-1 through the MapReduce pipeline and reports on the
+// run. The input must be square and nonsingular (and every diagonal block
+// the recursion factors must be nonsingular — the block method pivots
+// only within blocks, see DESIGN.md).
+func (p *Pipeline) Invert(a *matrix.Dense) (*matrix.Dense, *Report, error) {
+	if !a.IsSquare() {
+		return nil, nil, fmt.Errorf("core: Invert: input is %dx%d, not square", a.Rows, a.Cols)
+	}
+	if a.Rows == 0 {
+		return matrix.New(0, 0), &Report{}, nil
+	}
+	start := time.Now()
+	st := &pipelineState{opts: p.Opts, fs: p.FS, cluster: p.Cluster}
+	n := a.Rows
+	statsBefore := p.FS.Stats()
+
+	// Stage 0 (master): store the input and the Section 5.1 control files.
+	if err := writeInputBands(p.FS, p.Opts, a, p.Opts.Nodes); err != nil {
+		return nil, nil, err
+	}
+	for j := 0; j < p.Opts.Nodes; j++ {
+		p.FS.Write(controlFilePath(p.Opts.Root, j), []byte(fmt.Sprintf("%d", j)))
+	}
+
+	// Stage 1: partition job (map-only).
+	pj, err := p.Cluster.Run(partitionJob(p.Opts, n, p.FS))
+	if err != nil {
+		return nil, nil, err
+	}
+	st.recordJob(pj)
+	tree, err := buildInputTree(p.Opts, n, pj.Output)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Stage 2: block LU decomposition (2^d - 1 jobs).
+	hd, err := st.computeLU(tree)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Stage 3: triangular inversion and final output job.
+	inv, err := st.runInvertJob(hd)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	after := p.FS.Stats()
+	rep := &Report{
+		Order:          n,
+		NB:             p.Opts.NB,
+		Nodes:          p.Opts.Nodes,
+		Depth:          Depth(n, p.Opts.NB),
+		JobsRun:        st.jobsRun,
+		ExpectedJobs:   PipelineJobs(n, p.Opts.NB),
+		MapTasks:       st.mapTasks,
+		ReduceTasks:    st.reduceTasks,
+		TaskFailures:   st.taskFailures,
+		Speculative:    st.speculative,
+		MasterLUs:      st.masterDecompositions,
+		Counters:       st.counters,
+		Jobs:           st.jobLog,
+		MasterCombines: st.masterCombines,
+		LFactorFiles:   hd.fileCount(),
+		Elapsed:        time.Since(start),
+		JobElapsed:     st.jobElapsed,
+		FS: dfs.Stats{
+			BytesWritten:     after.BytesWritten - statsBefore.BytesWritten,
+			BytesReplicated:  after.BytesReplicated - statsBefore.BytesReplicated,
+			BytesRead:        after.BytesRead - statsBefore.BytesRead,
+			BytesTransferred: after.BytesTransferred - statsBefore.BytesTransferred,
+			FilesCreated:     after.FilesCreated - statsBefore.FilesCreated,
+			ReadOps:          after.ReadOps - statsBefore.ReadOps,
+			WriteOps:         after.WriteOps - statsBefore.WriteOps,
+		},
+	}
+	rep.F1, rep.F2 = FactorPair(p.Opts.Nodes)
+	if !p.Opts.BlockWrap {
+		rep.F1, rep.F2 = p.Opts.Nodes, 1
+	}
+	return inv, rep, nil
+}
+
+// Determinant computes det(A) through the pipeline's decomposition:
+// det(A) = sign(P) · prod(diag U), since PA = LU, L is unit triangular,
+// and a permutation's sign equals its inverse's.
+func (p *Pipeline) Determinant(a *matrix.Dense) (float64, error) {
+	perm, _, u, err := p.Decompose(a)
+	if err != nil {
+		return 0, err
+	}
+	det := float64(perm.Sign())
+	for i := 0; i < u.Rows; i++ {
+		det *= u.At(i, i)
+	}
+	return det, nil
+}
+
+// Decompose runs only the partition and block-LU stages, returning the
+// assembled factors P, L, U with P A = L U. It exists for callers (and
+// tests) that need the decomposition itself rather than the inverse.
+func (p *Pipeline) Decompose(a *matrix.Dense) (perm matrix.Perm, l, u *matrix.Dense, err error) {
+	if !a.IsSquare() {
+		return nil, nil, nil, fmt.Errorf("core: Decompose: input is %dx%d, not square", a.Rows, a.Cols)
+	}
+	st := &pipelineState{opts: p.Opts, fs: p.FS, cluster: p.Cluster}
+	n := a.Rows
+	if err := writeInputBands(p.FS, p.Opts, a, p.Opts.Nodes); err != nil {
+		return nil, nil, nil, err
+	}
+	pj, err := p.Cluster.Run(partitionJob(p.Opts, n, p.FS))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	st.recordJob(pj)
+	tree, err := buildInputTree(p.Opts, n, pj.Output)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	hd, err := st.computeLU(tree)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rd := masterReader(p.FS)
+	l, err = hd.readL(rd)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	u, err = hd.readU(rd)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return hd.p, l, u, nil
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dfs"
+	"repro/internal/matrix"
+	"repro/internal/workload"
+)
+
+// storeGrid writes m as a g x g grid of block files and returns the ref.
+func storeGrid(t *testing.T, fs *dfs.FS, m *matrix.Dense, g int, transposed bool) matRef {
+	t.Helper()
+	ref := matRef{Rows: m.Rows, Cols: m.Cols}
+	for i := 0; i < g; i++ {
+		r0, r1 := bandBounds(m.Rows, g, i)
+		for j := 0; j < g; j++ {
+			c0, c1 := bandBounds(m.Cols, g, j)
+			if r0 == r1 || c0 == c1 {
+				continue
+			}
+			blk := m.Block(r0, r1, c0, c1)
+			if transposed {
+				blk = blk.Transpose()
+			}
+			path := fmt.Sprintf("grid/%d.%d", i, j)
+			if err := fs.WriteMatrix(path, blk); err != nil {
+				t.Fatal(err)
+			}
+			ref.Blocks = append(ref.Blocks, blockFile{Path: path, R0: r0, R1: r1, C0: c0, C1: c1, Transposed: transposed})
+		}
+	}
+	return ref
+}
+
+func TestReadRegionAssemblesExactly(t *testing.T) {
+	fs := dfs.New(4, 1)
+	m := workload.Random(23, 71)
+	ref := storeGrid(t, fs, m, 4, false)
+	rd := masterReader(fs)
+
+	full, err := readAll(rd, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(full, m, 0) {
+		t.Fatal("full region differs")
+	}
+
+	// Arbitrary interior region crossing block boundaries.
+	got, err := readRegion(rd, ref, 3, 17, 5, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(got, m.Block(3, 17, 5, 22), 0) {
+		t.Fatal("interior region differs")
+	}
+}
+
+func TestReadRegionTransposedFiles(t *testing.T) {
+	fs := dfs.New(2, 1)
+	m := workload.Random(15, 72)
+	ref := storeGrid(t, fs, m, 3, true)
+	got, err := readRegion(masterReader(fs), ref, 2, 14, 1, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(got, m.Block(2, 14, 1, 13), 0) {
+		t.Fatal("transposed-file region differs")
+	}
+}
+
+func TestReadRegionMissingCoverage(t *testing.T) {
+	fs := dfs.New(1, 1)
+	m := workload.Random(8, 73)
+	ref := storeGrid(t, fs, m, 2, false)
+	// Drop one block from the index.
+	ref.Blocks = ref.Blocks[:len(ref.Blocks)-1]
+	if _, err := readAll(masterReader(fs), ref); err == nil {
+		t.Fatal("incomplete coverage accepted")
+	}
+}
+
+func TestReadRegionMissingFile(t *testing.T) {
+	ref := matRef{Rows: 2, Cols: 2, Blocks: []blockFile{{Path: "nope", R0: 0, R1: 2, C0: 0, C1: 2}}}
+	fs := dfs.New(1, 1)
+	if _, err := readAll(masterReader(fs), ref); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestReadRegionShapeMismatch(t *testing.T) {
+	fs := dfs.New(1, 1)
+	if err := fs.WriteMatrix("wrong", matrix.New(3, 3)); err != nil {
+		t.Fatal(err)
+	}
+	ref := matRef{Rows: 2, Cols: 2, Blocks: []blockFile{{Path: "wrong", R0: 0, R1: 2, C0: 0, C1: 2}}}
+	if _, err := readAll(masterReader(fs), ref); err == nil {
+		t.Fatal("stored/indexed shape mismatch accepted")
+	}
+}
+
+func TestSliceMetadataOnly(t *testing.T) {
+	ref := matRef{Rows: 10, Cols: 10, Blocks: []blockFile{
+		{Path: "a", R0: 0, R1: 5, C0: 0, C1: 10},
+		{Path: "b", R0: 5, R1: 10, C0: 0, C1: 10},
+	}}
+	s := ref.slice(2, 7, 3, 9)
+	if s.Rows != 5 || s.Cols != 6 {
+		t.Fatalf("slice dims %dx%d", s.Rows, s.Cols)
+	}
+	if len(s.Blocks) != 2 {
+		t.Fatalf("blocks = %d", len(s.Blocks))
+	}
+	// Slicing entirely inside the first block must drop the second.
+	s2 := ref.slice(0, 4, 0, 10)
+	if len(s2.Blocks) != 1 || s2.Blocks[0].Path != "a" {
+		t.Fatalf("slice kept %v", s2.Blocks)
+	}
+}
+
+func TestSliceOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	matRef{Rows: 4, Cols: 4}.slice(0, 5, 0, 4)
+}
+
+func TestSliceComposition(t *testing.T) {
+	fs := dfs.New(2, 1)
+	m := workload.Random(20, 74)
+	ref := storeGrid(t, fs, m, 4, false)
+	// slice of slice == direct slice
+	s1 := ref.slice(2, 18, 1, 19).slice(3, 10, 4, 12)
+	got, err := readAll(masterReader(fs), s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(got, m.Block(5, 12, 5, 13), 0) {
+		t.Fatal("composed slice differs")
+	}
+}
+
+func TestBandBounds(t *testing.T) {
+	// Bands must partition [0, n) with sizes differing by at most 1.
+	f := func(nRaw, mRaw uint8) bool {
+		n := int(nRaw)%100 + 1
+		m := int(mRaw)%10 + 1
+		prev := 0
+		minSz, maxSz := n, 0
+		for i := 0; i < m; i++ {
+			lo, hi := bandBounds(n, m, i)
+			if lo != prev || hi < lo {
+				return false
+			}
+			if sz := hi - lo; sz < minSz {
+				minSz = sz
+			} else if sz > maxSz {
+				maxSz = sz
+			}
+			if hi-lo > maxSz {
+				maxSz = hi - lo
+			}
+			prev = hi
+		}
+		return prev == n && maxSz-minSz <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/lu"
+	"repro/internal/mapreduce"
+	"repro/internal/matrix"
+	"repro/internal/workload"
+)
+
+// TestPipelineCountersAccumulate verifies the Hadoop-style counters the
+// level jobs report: across the whole LU phase, the L2', U2 and B element
+// counts must each sum to the total off-diagonal block area of the
+// recursion tree.
+func TestPipelineCountersAccumulate(t *testing.T) {
+	n := 64
+	opts := DefaultOptions(4)
+	opts.NB = 16
+	a := workload.Random(n, 1101)
+	p, err := NewPipeline(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := p.Invert(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The recursion tree: at each internal node of order m with h = m/2
+	// (power-of-two sizes here), L2', U2 and B each cover h*h elements.
+	var expect int64
+	var walk func(m int)
+	walk = func(m int) {
+		if m <= opts.NB {
+			return
+		}
+		h := splitPoint(m)
+		expect += int64(h) * int64(m-h)
+		walk(h)
+		walk(m - h)
+	}
+	walk(n)
+	for _, key := range []string{"l2.elements", "u2.elements"} {
+		if rep.Counters[key] != expect {
+			t.Errorf("%s = %d, want %d", key, rep.Counters[key], expect)
+		}
+	}
+	// B blocks cover (m-h)^2 per level; for power-of-two halving that is
+	// the same as h*(m-h).
+	if rep.Counters["b.elements"] != expect {
+		t.Errorf("b.elements = %d, want %d", rep.Counters["b.elements"], expect)
+	}
+}
+
+// TestPipelineSurvivesReplicaCorruption corrupts one replica of every
+// intermediate file after the LU phase; reads verify checksums and heal
+// from healthy replicas, and the inversion is unaffected — HDFS behaviour
+// the paper's fault-tolerance story rests on.
+func TestPipelineSurvivesReplicaCorruption(t *testing.T) {
+	n := 64
+	opts := DefaultOptions(4)
+	opts.NB = 16
+	a := workload.Random(n, 1102)
+	fs := dfs.New(opts.Nodes, dfs.DefaultReplication)
+	cl := mapreduce.NewCluster(fs, opts.Nodes)
+	p, err := NewPipelineOn(opts, fs, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Run the decomposition stages, then corrupt one replica of every
+	// factor file before the factors are consumed again.
+	perm, l, u, err := p.Decompose(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pristine := map[string][]byte{}
+	corrupted := 0
+	for _, path := range fs.List("") {
+		if sz, _ := fs.Size(path); sz > 0 {
+			data, err := fs.Read(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pristine[path] = data
+			if err := fs.Corrupt(path, 0); err == nil {
+				corrupted++
+			}
+		}
+	}
+	if corrupted == 0 {
+		t.Fatal("nothing corrupted")
+	}
+
+	// Every read must detect the bad replica, heal it, and return the
+	// pristine bytes.
+	for path, want := range pristine {
+		got, err := fs.Read(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("%s: corrupt data served", path)
+		}
+	}
+	if healed := fs.Stats().CorruptionsHealed; healed != int64(corrupted) {
+		t.Fatalf("healed %d of %d corruptions", healed, corrupted)
+	}
+
+	// The factors read back after healing still reconstruct PA = LU.
+	prod, err := matrix.Mul(l, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(prod, perm.ApplyRows(a)); d > 1e-8 {
+		t.Fatalf("LU != PA by %g", d)
+	}
+}
+
+// TestPipelineSurvivesTransientReadFailures injects intermittent DFS read
+// errors (a flaky datanode); the engine's task retry must absorb them and
+// the inversion still succeed — the I/O side of the paper's fault
+// tolerance story.
+func TestPipelineSurvivesTransientReadFailures(t *testing.T) {
+	n := 64
+	opts := DefaultOptions(4)
+	opts.NB = 16
+	a := workload.Random(n, 1104)
+	fs := dfs.New(opts.Nodes, dfs.DefaultReplication)
+	cl := mapreduce.NewCluster(fs, opts.Nodes)
+	cl.DefaultMaxAttempts = 6
+	var mu sync.Mutex
+	count := 0
+	injected := 0
+	fs.InjectReadErrors(func(path string) error {
+		// Only fail A2/A3 partition files: those are read exclusively by
+		// map tasks, whose attempts the engine retries. (Master-side
+		// reads have no retry loop, as in Hadoop, where the job client
+		// simply fails.)
+		if !strings.Contains(path, "/A2/") && !strings.Contains(path, "/A3/") {
+			return nil
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		count++
+		if count%5 == 0 { // 20% of these reads fail
+			injected++
+			return errors.New("flaky datanode")
+		}
+		return nil
+	})
+	p, err := NewPipelineOn(opts, fs, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, rep, err := p.Invert(a)
+	if err != nil {
+		t.Fatalf("pipeline did not absorb transient read failures: %v", err)
+	}
+	fs.InjectReadErrors(nil)
+	mu.Lock()
+	inj := injected
+	mu.Unlock()
+	if inj == 0 {
+		t.Fatal("injector never fired")
+	}
+	if rep.TaskFailures == 0 {
+		t.Fatal("failures not surfaced as task retries")
+	}
+	res, err := matrix.IdentityResidual(a, inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res > 1e-7 {
+		t.Fatalf("residual %g", res)
+	}
+}
+
+// TestPipelineWithSpeculation enables speculative execution cluster-wide;
+// duplicated attempts must not corrupt the single-writer file layout or
+// the result.
+func TestPipelineWithSpeculation(t *testing.T) {
+	n := 64
+	opts := DefaultOptions(4)
+	opts.NB = 16
+	a := workload.Random(n, 1103)
+	fs := dfs.New(opts.Nodes, dfs.DefaultReplication)
+	cl := mapreduce.NewCluster(fs, opts.Nodes)
+	cl.Speculative = true
+	cl.SpeculativeSlack = time.Millisecond
+	cl.SpeculativeRatio = 3
+	p, err := NewPipelineOn(opts, fs, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, _, err := p.Invert(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := lu.Invert(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(inv, want); d > 1e-7 {
+		t.Fatalf("speculative run differs by %g", d)
+	}
+}

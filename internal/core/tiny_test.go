@@ -1,0 +1,33 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/workload"
+)
+
+func TestTinyMatrixManyNodes(t *testing.T) {
+	// More nodes than rows: empty bands, empty grid cells, interleaved
+	// index classes with holes — every degenerate path at once.
+	for _, n := range []int{1, 2, 3, 5} {
+		a := workload.DiagonallyDominant(n, int64(n))
+		opts := DefaultOptions(12)
+		opts.NB = 2
+		p, err := NewPipeline(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inv, _, err := p.Invert(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		res, err := matrix.IdentityResidual(a, inv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res > 1e-9 {
+			t.Fatalf("n=%d: residual %g", n, res)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func TestTable1Formulas(t *testing.T) {
+	// For m0 = 64 (f1 = f2 = 8): l = (64 + 16 + 16)/4 = 24.
+	n := 1000
+	ours := OursLU(n, 64)
+	n2 := 1e6
+	if ours.Write != 1.5*n2 {
+		t.Fatalf("write = %g", ours.Write)
+	}
+	if ours.Read != 27*n2 || ours.Transfer != 27*n2 {
+		t.Fatalf("read/transfer = %g/%g, want l+3 = 27 n^2", ours.Read, ours.Transfer)
+	}
+	if ours.Mults != 1e9/3 || ours.Adds != 1e9/3 {
+		t.Fatalf("flops = %g/%g", ours.Mults, ours.Adds)
+	}
+	scal := ScaLAPACKLU(n, 64)
+	if scal.Transfer != 2.0/3.0*64*n2 {
+		t.Fatalf("scal transfer = %g", scal.Transfer)
+	}
+	if scal.Read != n2 || scal.Write != n2 {
+		t.Fatalf("scal read/write = %g/%g", scal.Read, scal.Write)
+	}
+}
+
+func TestTable2Formulas(t *testing.T) {
+	// For m0 = 64: l = (64 + 8 + 8)/2 = 40.
+	n := 1000
+	n2 := 1e6
+	ours := OursInversion(n, 64)
+	if ours.Write != 2*n2 || ours.Read != 40*n2 || ours.Transfer != 42*n2 {
+		t.Fatalf("ours = %+v", ours)
+	}
+	if ours.Mults != 2e9/3 {
+		t.Fatalf("mults = %g", ours.Mults)
+	}
+	scal := ScaLAPACKInversion(n, 64)
+	if scal.Read != 64*n2 || scal.Transfer != 64*n2 {
+		t.Fatalf("scal = %+v", scal)
+	}
+}
+
+func TestOursTimeStrongScaling(t *testing.T) {
+	// Figure 6's shape: runtime decreases with nodes, near-ideal early,
+	// with deviation (t/ideal > 1) growing at high node counts.
+	n := 32768
+	t1 := OursTime(NewCluster(Medium, 1), n, workload.PaperNB, AllOpts)
+	prev := t1
+	for _, m0 := range []int{2, 4, 8, 16, 32, 64} {
+		tm := OursTime(NewCluster(Medium, m0), n, workload.PaperNB, AllOpts)
+		if tm >= prev {
+			t.Fatalf("no speedup at %d nodes: %v >= %v", m0, tm, prev)
+		}
+		prev = tm
+	}
+	// Deviation from ideal at 64 nodes must be visible but bounded.
+	t64 := OursTime(NewCluster(Medium, 64), n, workload.PaperNB, AllOpts)
+	ideal := t1 / 64
+	ratio := t64.Seconds() / ideal.Seconds()
+	if ratio < 1.02 || ratio > 4 {
+		t.Fatalf("t/ideal at 64 nodes = %.2f, want visible bounded deviation", ratio)
+	}
+}
+
+func TestLargerMatrixScalesBetter(t *testing.T) {
+	// Section 7.2: "the larger the matrix, the better the scalability".
+	dev := func(n int) float64 {
+		t1 := OursTime(NewCluster(Medium, 1), n, workload.PaperNB, AllOpts)
+		t64 := OursTime(NewCluster(Medium, 64), n, workload.PaperNB, AllOpts)
+		return t64.Seconds() / (t1.Seconds() / 64)
+	}
+	if dev(40960) >= dev(20480) {
+		t.Fatalf("larger matrix deviates more: M3 %.3f vs M1 %.3f", dev(40960), dev(20480))
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	points := Fig7()
+	if len(points) != 2*len(Fig7Nodes) {
+		t.Fatalf("points = %d", len(points))
+	}
+	last := map[string]float64{}
+	for _, p := range points {
+		if p.Ratio < 1 {
+			t.Fatalf("%s at %d nodes: ratio %.3f < 1 (optimization hurts?)", p.Optimization, p.Nodes, p.Ratio)
+		}
+		if prev, ok := last[p.Optimization]; ok && p.Ratio < prev-1e-9 {
+			t.Fatalf("%s: ratio not non-decreasing with nodes (%.3f after %.3f)", p.Optimization, p.Ratio, prev)
+		}
+		last[p.Optimization] = p.Ratio
+	}
+	// Section 7.3: separate files approaches ~1.3x at high node counts.
+	var sep64 float64
+	for _, p := range points {
+		if p.Optimization == "separate-files" && p.Nodes == 64 {
+			sep64 = p.Ratio
+		}
+	}
+	if sep64 < 1.1 || sep64 > 1.6 {
+		t.Fatalf("separate-files ratio at 64 nodes = %.3f, want ~1.3", sep64)
+	}
+}
+
+func TestFig8Crossover(t *testing.T) {
+	points := Fig8()
+	get := func(mat string, nodes int) float64 {
+		for _, p := range points {
+			if p.Matrix == mat && p.Nodes == nodes {
+				return p.Ratio
+			}
+		}
+		t.Fatalf("missing %s@%d", mat, nodes)
+		return 0
+	}
+	// Small scale: ScaLAPACK wins (ratio < 1) — Section 7.5's "slight
+	// performance penalty for small matrices". 4 nodes is M1's first
+	// memory-feasible point for the in-memory baseline.
+	if r := get("M1", 4); r >= 1 {
+		t.Fatalf("M1@4 ratio = %.2f, ScaLAPACK should win at small scale", r)
+	}
+	// The ratio improves for our algorithm as nodes grow (M3's first
+	// feasible point on 3.7 GB nodes is 16).
+	if get("M3", 64) <= get("M3", 16) {
+		t.Fatal("ratio must grow with node count for M3")
+	}
+	// At 64 nodes the largest matrix approaches or passes parity.
+	if r := get("M3", 64); r < 0.95 {
+		t.Fatalf("M3@64 ratio = %.2f, want near/above parity", r)
+	}
+	// Larger matrices have better ratios at high scale.
+	if !(get("M3", 64) > get("M1", 64)) {
+		t.Fatal("larger matrices should favor our algorithm")
+	}
+}
+
+func TestSec74Anchors(t *testing.T) {
+	rows := Sec74()
+	byKey := map[string]time.Duration{}
+	for _, r := range rows {
+		byKey[r.System+"/"+r.Cluster] = r.Time
+	}
+	within := func(d time.Duration, lo, hi float64) bool {
+		return d.Hours() >= lo && d.Hours() <= hi
+	}
+	if d := byKey["ours/128 large"]; !within(d, 3.5, 7) {
+		t.Fatalf("ours on 128 large = %v, paper ~5h", d)
+	}
+	if d := byKey["ours/64 medium"]; !within(d, 11, 19) {
+		t.Fatalf("ours on 64 medium = %v, paper ~15h", d)
+	}
+	if d := byKey["ours+failure/128 large"]; !within(d, 6, 11) {
+		t.Fatalf("ours+failure = %v, paper ~8h", d)
+	}
+	if d := byKey["scalapack/128 large"]; !within(d, 6, 11) {
+		t.Fatalf("scalapack on 128 large = %v, paper ~8h", d)
+	}
+	if d := byKey["scalapack/64 medium"]; d.Hours() <= 48 {
+		t.Fatalf("scalapack on 64 medium = %v, paper >48h", d)
+	}
+	// Ordering: ours beats ScaLAPACK on both clusters at this scale.
+	if byKey["ours/128 large"] >= byKey["scalapack/128 large"] {
+		t.Fatal("ours must win on 128 large")
+	}
+	if byKey["ours/64 medium"] >= byKey["scalapack/64 medium"] {
+		t.Fatal("ours must win on 64 medium")
+	}
+}
+
+func TestFig6SeriesComplete(t *testing.T) {
+	points := Fig6()
+	if len(points) != 3*len(Fig6Nodes) {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.Time <= 0 || p.Ideal <= 0 {
+			t.Fatalf("bad point %+v", p)
+		}
+		if p.Time.Seconds() < p.Ideal.Seconds()*0.99 {
+			t.Fatalf("faster than ideal at %+v", p)
+		}
+	}
+	if s := SummarizeFig6(points); len(s) == 0 {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestTableRowsRender(t *testing.T) {
+	if rows := Table1Rows(1000, 64); len(rows) != 2 {
+		t.Fatalf("table1 rows = %d", len(rows))
+	}
+	if rows := Table2Rows(1000, 64); len(rows) != 2 {
+		t.Fatalf("table2 rows = %d", len(rows))
+	}
+	rows := Table3Rows()
+	if len(rows) != 5 {
+		t.Fatalf("table3 rows = %d", len(rows))
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	if s := FormatDuration(90 * time.Minute); s != "1.5 h" {
+		t.Fatalf("got %q", s)
+	}
+	if s := FormatDuration(90 * time.Second); s != "1.5 min" {
+		t.Fatalf("got %q", s)
+	}
+	if s := FormatDuration(5 * time.Second); s != "5.0 s" {
+		t.Fatalf("got %q", s)
+	}
+}
+
+func TestOursWorkerMemoryStreaming(t *testing.T) {
+	// M4 on 64 medium nodes: a full factor (84 GB) cannot fit a worker;
+	// the streaming inversion's band + output columns must.
+	n, m0 := 102400, 64
+	full := OursWorkerMemory(n, m0, false)
+	stream := OursWorkerMemory(n, m0, true)
+	if full <= Medium.RAM {
+		t.Fatalf("full factor %g unexpectedly fits %g", full, Medium.RAM)
+	}
+	if stream > Medium.RAM {
+		t.Fatalf("streaming working set %g does not fit %g", stream, Medium.RAM)
+	}
+	if stream >= full/10 {
+		t.Fatalf("streaming saves too little: %g vs %g", stream, full)
+	}
+}
+
+func TestSparkTimeBeatsHadoopTime(t *testing.T) {
+	// Section 8's expectation: the in-memory port improves on the
+	// HDFS-backed pipeline by cutting read I/O and launch overhead, most
+	// visibly at high node counts where I/O and launches dominate.
+	for _, m0 := range []int{8, 16, 64} {
+		c := NewCluster(Medium, m0)
+		hadoop := OursTime(c, 32768, workload.PaperNB, AllOpts)
+		spark := SparkTime(c, 32768, workload.PaperNB)
+		if spark >= hadoop {
+			t.Fatalf("m0=%d: spark %v >= hadoop %v", m0, spark, hadoop)
+		}
+	}
+	// But the gap must be bounded — compute still dominates overall.
+	c := NewCluster(Medium, 16)
+	ratio := OursTime(c, 32768, workload.PaperNB, AllOpts).Seconds() / SparkTime(c, 32768, workload.PaperNB).Seconds()
+	if ratio > 3 {
+		t.Fatalf("spark speedup ratio %.2f implausibly large", ratio)
+	}
+}
+
+func TestTransposePenaltyVisible(t *testing.T) {
+	// Section 6.3: disabling transposed storage slows the run 2-3x at the
+	// compute-bound end.
+	c := NewCluster(Medium, 8)
+	opt := OursTime(c, 32768, workload.PaperNB, AllOpts)
+	noT := AllOpts
+	noT.TransposeU = false
+	slow := OursTime(c, 32768, workload.PaperNB, noT)
+	ratio := slow.Seconds() / opt.Seconds()
+	if ratio < 1.5 || ratio > 3 {
+		t.Fatalf("transpose ablation ratio = %.2f, want within the paper's 2-3x ballpark", ratio)
+	}
+}

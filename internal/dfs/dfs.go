@@ -1,0 +1,420 @@
+// Package dfs is an in-memory stand-in for HDFS: a concurrency-safe
+// distributed file system simulator with a hierarchical namespace,
+// replication, block placement across simulated datanodes, and precise
+// byte-level accounting of reads, writes, and network transfer.
+//
+// The HPDC 2014 paper's implementation stores every input, intermediate,
+// and output matrix in HDFS files under a work directory (Figure 4), and
+// its I/O optimizations (Section 6) are claims about how many bytes cross
+// this file system and how many workers touch each file. This package
+// reproduces those observable properties; it does not persist anything to
+// the local disk.
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Common errors.
+var (
+	ErrNotFound = errors.New("dfs: file not found")
+	ErrExists   = errors.New("dfs: file already exists")
+	ErrIsDir    = errors.New("dfs: path is a directory")
+	// ErrCorrupt is returned when every replica of a file fails its
+	// checksum.
+	ErrCorrupt = errors.New("dfs: all replicas corrupt")
+)
+
+// DefaultReplication mirrors HDFS's default replication factor of 3, which
+// the paper uses ("matrices are stored in HDFS with the default replication
+// factor of 3").
+const DefaultReplication = 3
+
+// file is one stored object. Each replica holds its own copy of the data
+// so corruption can hit one replica without touching the others, as on
+// real HDFS datanodes; sum is the CRC-32 checksum HDFS verifies on read.
+type file struct {
+	copies   [][]byte
+	sum      uint32
+	replicas []int // datanode ids holding a replica
+	// readers tracks the current and maximum number of simultaneous
+	// readers, supporting the paper's Section 5.2 claim that its layout
+	// never has two mappers reading or writing the same file at once.
+	readers    int
+	maxReaders int
+	writes     int // number of times this path was (re)written
+}
+
+// Stats is a snapshot of the accumulated I/O accounting.
+type Stats struct {
+	BytesWritten     int64 // logical bytes written by clients
+	BytesReplicated  int64 // bytes written including replication copies
+	BytesRead        int64 // bytes read by clients
+	BytesTransferred int64 // bytes that crossed the simulated network
+	FilesCreated     int64
+	ReadOps          int64
+	WriteOps         int64
+	// CorruptionsHealed counts reads that found a corrupt replica and
+	// served (and restored it from) a healthy one.
+	CorruptionsHealed int64
+}
+
+// FS is the simulated distributed file system.
+type FS struct {
+	mu          sync.Mutex
+	files       map[string]*file
+	nodes       int
+	replication int
+	nextNode    int
+	stats       Stats
+	// injectReadErr, when non-nil, is consulted on every read; a non-nil
+	// return aborts the read (a transient datanode failure). Set with
+	// InjectReadErrors.
+	injectReadErr func(path string) error
+}
+
+// InjectReadErrors installs a read fault injector (nil disables). The
+// MapReduce engine's task retry turns such transient failures into
+// re-executed attempts, like Hadoop re-reading from HDFS.
+func (fs *FS) InjectReadErrors(f func(path string) error) {
+	fs.mu.Lock()
+	fs.injectReadErr = f
+	fs.mu.Unlock()
+}
+
+// New creates a file system simulator with the given number of datanodes
+// and replication factor. Replication is capped at the node count.
+func New(nodes, replication int) *FS {
+	if nodes < 1 {
+		nodes = 1
+	}
+	if replication < 1 {
+		replication = 1
+	}
+	if replication > nodes {
+		replication = nodes
+	}
+	return &FS{
+		files:       make(map[string]*file),
+		nodes:       nodes,
+		replication: replication,
+	}
+}
+
+// Clean normalizes a path: no leading/trailing slashes, no empty segments.
+func Clean(path string) string {
+	parts := strings.Split(path, "/")
+	out := parts[:0]
+	for _, p := range parts {
+		if p != "" && p != "." {
+			out = append(out, p)
+		}
+	}
+	return strings.Join(out, "/")
+}
+
+// Write stores data at path, overwriting any existing file. Replicas are
+// placed round-robin across datanodes, charging replicated bytes and
+// (replication-1)/replication of them as network transfer — the pipeline
+// copies HDFS makes to the other replica holders.
+func (fs *FS) Write(path string, data []byte) {
+	path = Clean(path)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path]
+	if !ok {
+		f = &file{replicas: fs.placeLocked()}
+		fs.files[path] = f
+		fs.stats.FilesCreated++
+	}
+	f.copies = make([][]byte, len(f.replicas))
+	for i := range f.copies {
+		f.copies[i] = append([]byte(nil), data...)
+	}
+	f.sum = crc32.ChecksumIEEE(data)
+	f.writes++
+	fs.stats.WriteOps++
+	fs.stats.BytesWritten += int64(len(data))
+	fs.stats.BytesReplicated += int64(len(data) * len(f.replicas))
+	fs.stats.BytesTransferred += int64(len(data) * (len(f.replicas) - 1))
+}
+
+// placeLocked chooses replica nodes for a new file round-robin.
+func (fs *FS) placeLocked() []int {
+	reps := make([]int, fs.replication)
+	for i := range reps {
+		reps[i] = (fs.nextNode + i) % fs.nodes
+	}
+	fs.nextNode = (fs.nextNode + 1) % fs.nodes
+	return reps
+}
+
+// Create stores an empty file at path, failing if it already exists.
+func (fs *FS) Create(path string) error {
+	path = Clean(path)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[path]; ok {
+		return fmt.Errorf("%s: %w", path, ErrExists)
+	}
+	reps := fs.placeLocked()
+	fs.files[path] = &file{replicas: reps, copies: make([][]byte, len(reps)), sum: crc32.ChecksumIEEE(nil)}
+	fs.stats.FilesCreated++
+	fs.stats.WriteOps++
+	return nil
+}
+
+// Read returns a copy of the file's contents, charging a local read
+// (no transfer). Equivalent to ReadFrom with a node holding a replica.
+func (fs *FS) Read(path string) ([]byte, error) {
+	return fs.readInternal(path, -1)
+}
+
+// ReadFrom returns the file's contents as read by the given datanode.
+// If the node does not hold a replica, the bytes are charged as network
+// transfer — this is how data-locality effects become visible in Stats.
+func (fs *FS) ReadFrom(path string, node int) ([]byte, error) {
+	return fs.readInternal(path, node)
+}
+
+func (fs *FS) readInternal(path string, node int) ([]byte, error) {
+	path = Clean(path)
+	fs.mu.Lock()
+	if fs.injectReadErr != nil {
+		if err := fs.injectReadErr(path); err != nil {
+			fs.mu.Unlock()
+			return nil, fmt.Errorf("dfs: injected read failure on %s: %w", path, err)
+		}
+	}
+	f, ok := fs.files[path]
+	if !ok {
+		fs.mu.Unlock()
+		return nil, fmt.Errorf("%s: %w", path, ErrNotFound)
+	}
+	f.readers++
+	if f.readers > f.maxReaders {
+		f.maxReaders = f.readers
+	}
+	// Checksum verification: serve the first healthy replica; heal any
+	// corrupt copies from it (HDFS re-replicates on checksum failure).
+	good := -1
+	corrupt := 0
+	for i, c := range f.copies {
+		if crc32.ChecksumIEEE(c) == f.sum {
+			good = i
+		} else {
+			corrupt++
+		}
+	}
+	if good < 0 {
+		f.readers--
+		fs.mu.Unlock()
+		return nil, fmt.Errorf("%s: %w", path, ErrCorrupt)
+	}
+	if corrupt > 0 {
+		for i, c := range f.copies {
+			if crc32.ChecksumIEEE(c) != f.sum {
+				f.copies[i] = append([]byte(nil), f.copies[good]...)
+				// Healing copies the block across the network.
+				fs.stats.BytesTransferred += int64(len(f.copies[good]))
+			}
+		}
+		fs.stats.CorruptionsHealed += int64(corrupt)
+	}
+	data := f.copies[good]
+	fs.stats.ReadOps++
+	fs.stats.BytesRead += int64(len(data))
+	if node >= 0 {
+		local := false
+		for _, r := range f.replicas {
+			if r == node {
+				local = true
+				break
+			}
+		}
+		if !local {
+			fs.stats.BytesTransferred += int64(len(data))
+		}
+	}
+	out := append([]byte(nil), data...)
+	f.readers--
+	fs.mu.Unlock()
+	return out, nil
+}
+
+// Corrupt flips a byte in one replica of the file — the fault-injection
+// hook for checksum/healing tests. It fails if the replica index is out
+// of range or the file is empty.
+func (fs *FS) Corrupt(path string, replica int) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[Clean(path)]
+	if !ok {
+		return fmt.Errorf("%s: %w", Clean(path), ErrNotFound)
+	}
+	if replica < 0 || replica >= len(f.copies) {
+		return fmt.Errorf("dfs: Corrupt %s: replica %d of %d", path, replica, len(f.copies))
+	}
+	if len(f.copies[replica]) == 0 {
+		return fmt.Errorf("dfs: Corrupt %s: empty file", path)
+	}
+	cp := append([]byte(nil), f.copies[replica]...)
+	cp[len(cp)/2] ^= 0xff
+	f.copies[replica] = cp
+	return nil
+}
+
+// Exists reports whether path holds a file.
+func (fs *FS) Exists(path string) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, ok := fs.files[Clean(path)]
+	return ok
+}
+
+// Size returns the byte size of the file at path.
+func (fs *FS) Size(path string) (int64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[Clean(path)]
+	if !ok {
+		return 0, fmt.Errorf("%s: %w", path, ErrNotFound)
+	}
+	if len(f.copies) == 0 {
+		return 0, nil
+	}
+	return int64(len(f.copies[0])), nil
+}
+
+// Replicas returns the datanode ids holding the file.
+func (fs *FS) Replicas(path string) ([]int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[Clean(path)]
+	if !ok {
+		return nil, fmt.Errorf("%s: %w", path, ErrNotFound)
+	}
+	return append([]int(nil), f.replicas...), nil
+}
+
+// MaxConcurrentReaders returns the largest number of simultaneous readers
+// the file has seen. The paper's file layout keeps this at 1 for all
+// intermediate files (Section 5.2).
+func (fs *FS) MaxConcurrentReaders(path string) (int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[Clean(path)]
+	if !ok {
+		return 0, fmt.Errorf("%s: %w", path, ErrNotFound)
+	}
+	return f.maxReaders, nil
+}
+
+// WriteCount returns how many times path has been written. The layout's
+// no-synchronization claim implies 1 for every intermediate file.
+func (fs *FS) WriteCount(path string) (int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[Clean(path)]
+	if !ok {
+		return 0, fmt.Errorf("%s: %w", path, ErrNotFound)
+	}
+	return f.writes, nil
+}
+
+// Delete removes the file at path.
+func (fs *FS) Delete(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	path = Clean(path)
+	if _, ok := fs.files[path]; !ok {
+		return fmt.Errorf("%s: %w", path, ErrNotFound)
+	}
+	delete(fs.files, path)
+	return nil
+}
+
+// DeleteTree removes every file under the directory prefix.
+func (fs *FS) DeleteTree(dir string) int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir = Clean(dir)
+	prefix := dir + "/"
+	n := 0
+	for p := range fs.files {
+		if p == dir || strings.HasPrefix(p, prefix) {
+			delete(fs.files, p)
+			n++
+		}
+	}
+	return n
+}
+
+// List returns the sorted paths of all files under the directory prefix.
+func (fs *FS) List(dir string) []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir = Clean(dir)
+	prefix := dir + "/"
+	if dir == "" {
+		prefix = ""
+	}
+	var out []string
+	for p := range fs.files {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Du returns the total bytes stored under the directory prefix (logical
+// size of the primary copies, not counting replication).
+func (fs *FS) Du(dir string) int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir = Clean(dir)
+	prefix := dir + "/"
+	if dir == "" {
+		prefix = ""
+	}
+	var total int64
+	for p, f := range fs.files {
+		if strings.HasPrefix(p, prefix) && len(f.copies) > 0 {
+			total += int64(len(f.copies[0]))
+		}
+	}
+	return total
+}
+
+// FileCount returns the total number of files, a metric the Section 6.1
+// separate-files optimization reasons about (N(d) files per triangular
+// factor).
+func (fs *FS) FileCount() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return len(fs.files)
+}
+
+// Stats returns a snapshot of the accounting counters.
+func (fs *FS) Stats() Stats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.stats
+}
+
+// ResetStats zeroes the accounting counters (files are kept).
+func (fs *FS) ResetStats() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.stats = Stats{}
+}
+
+// Nodes returns the number of simulated datanodes.
+func (fs *FS) Nodes() int { return fs.nodes }

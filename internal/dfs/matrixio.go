@@ -1,0 +1,71 @@
+package dfs
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// Matrix helpers: the pipeline stores every submatrix as one binary-format
+// file (Section 5.2's "each of which is stored in a separate file").
+
+// WriteMatrix stores m at path in the binary matrix format.
+func (fs *FS) WriteMatrix(path string, m *matrix.Dense) error {
+	var buf bytes.Buffer
+	if err := matrix.WriteBinary(&buf, m); err != nil {
+		return fmt.Errorf("dfs: WriteMatrix %s: %w", path, err)
+	}
+	fs.Write(path, buf.Bytes())
+	return nil
+}
+
+// ReadMatrix loads the matrix stored at path.
+func (fs *FS) ReadMatrix(path string) (*matrix.Dense, error) {
+	data, err := fs.Read(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := matrix.ReadBinary(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("dfs: ReadMatrix %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// ReadMatrixFrom loads the matrix at path as read by the given datanode,
+// charging network transfer if the node holds no replica.
+func (fs *FS) ReadMatrixFrom(path string, node int) (*matrix.Dense, error) {
+	data, err := fs.ReadFrom(path, node)
+	if err != nil {
+		return nil, err
+	}
+	m, err := matrix.ReadBinary(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("dfs: ReadMatrixFrom %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// WriteMatrixText stores m at path in the text ("a.txt") format.
+func (fs *FS) WriteMatrixText(path string, m *matrix.Dense) error {
+	var buf bytes.Buffer
+	if err := matrix.WriteText(&buf, m); err != nil {
+		return fmt.Errorf("dfs: WriteMatrixText %s: %w", path, err)
+	}
+	fs.Write(path, buf.Bytes())
+	return nil
+}
+
+// ReadMatrixText loads a text-format matrix from path.
+func (fs *FS) ReadMatrixText(path string) (*matrix.Dense, error) {
+	data, err := fs.Read(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := matrix.ReadText(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("dfs: ReadMatrixText %s: %w", path, err)
+	}
+	return m, nil
+}

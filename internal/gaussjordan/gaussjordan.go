@@ -1,0 +1,111 @@
+// Package gaussjordan implements matrix inversion by Gauss-Jordan
+// elimination with partial pivoting — the classical row-elimination method
+// described in Section 2 of the HPDC 2014 paper.
+//
+// The paper rejects this method for MapReduce because its n sequential
+// elimination steps would require a pipeline of ~n MapReduce jobs (versus
+// ~n/nb for block LU). It is implemented here as an independent
+// ground-truth reference for the LU-based inverses and as the sequential
+// comparator for the job-count analysis.
+package gaussjordan
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/matrix"
+)
+
+// ErrSingular is returned when elimination encounters a column with no
+// usable pivot.
+var ErrSingular = errors.New("gaussjordan: matrix is singular")
+
+// ErrNotSquare is returned for non-square inputs.
+var ErrNotSquare = errors.New("gaussjordan: matrix is not square")
+
+const pivotTol = 1e-300
+
+// Invert computes A^-1 via Gauss-Jordan elimination on the augmented matrix
+// [A | I], using row switching, row multiplication and row addition exactly
+// as Section 2 describes: first reduce the left side to upper triangular
+// form (forward phase, with pivoting), then to the identity (backward
+// phase), leaving the inverse on the right.
+func Invert(a *matrix.Dense) (*matrix.Dense, error) {
+	if !a.IsSquare() {
+		return nil, fmt.Errorf("gaussjordan: %dx%d: %w", a.Rows, a.Cols, ErrNotSquare)
+	}
+	n := a.Rows
+	// Build the augmented matrix [A | I].
+	aug := matrix.New(n, 2*n)
+	for i := 0; i < n; i++ {
+		copy(aug.Row(i)[:n], a.Row(i))
+		aug.Row(i)[n+i] = 1
+	}
+
+	// Forward phase: for each column k, pivot, normalize row k, eliminate
+	// below (Section 2, "In the k-th step...").
+	for k := 0; k < n; k++ {
+		piv, best := k, math.Abs(aug.At(k, k))
+		for r := k + 1; r < n; r++ {
+			if v := math.Abs(aug.At(r, k)); v > best {
+				piv, best = r, v
+			}
+		}
+		if best < pivotTol {
+			return nil, fmt.Errorf("gaussjordan: zero pivot in column %d: %w", k, ErrSingular)
+		}
+		if piv != k {
+			rk, rp := aug.Row(k), aug.Row(piv)
+			for c := range rk {
+				rk[c], rp[c] = rp[c], rk[c]
+			}
+		}
+		// Normalize row k so the pivot element becomes 1.
+		inv := 1 / aug.At(k, k)
+		rk := aug.Row(k)
+		for c := k; c < 2*n; c++ {
+			rk[c] *= inv
+		}
+		// Eliminate entries below the pivot.
+		for r := k + 1; r < n; r++ {
+			f := aug.At(r, k)
+			if f == 0 {
+				continue
+			}
+			rr := aug.Row(r)
+			for c := k; c < 2*n; c++ {
+				rr[c] -= f * rk[c]
+			}
+		}
+	}
+
+	// Backward phase: clear entries above each pivot, converting the upper
+	// triangular left side into the identity.
+	for k := n - 1; k >= 0; k-- {
+		rk := aug.Row(k)
+		for r := 0; r < k; r++ {
+			f := aug.At(r, k)
+			if f == 0 {
+				continue
+			}
+			rr := aug.Row(r)
+			for c := k; c < 2*n; c++ {
+				rr[c] -= f * rk[c]
+			}
+		}
+	}
+
+	// Extract the right half.
+	out := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		copy(out.Row(i), aug.Row(i)[n:])
+	}
+	return out, nil
+}
+
+// SequentialSteps returns the number of dependent elimination steps the
+// method performs for an order-n matrix: n forward plus n backward. The
+// paper's point (Section 2) is that a MapReduce port would need a pipeline
+// of this many jobs, versus BlockJobs for block LU.
+func SequentialSteps(n int) int { return 2 * n }

@@ -1,0 +1,84 @@
+package gaussjordan
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lu"
+	"repro/internal/matrix"
+	"repro/internal/workload"
+)
+
+func TestInvertResidual(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 16, 50} {
+		a := workload.Random(n, int64(n)*3)
+		inv, err := Invert(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		res, err := matrix.IdentityResidual(a, inv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res > 1e-8 {
+			t.Fatalf("n=%d: residual %g", n, res)
+		}
+	}
+}
+
+func TestInvertAgreesWithLU(t *testing.T) {
+	a := workload.Random(30, 77)
+	gj, err := Invert(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaLU, err := lu.Invert(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(gj, viaLU); d > 1e-8 {
+		t.Fatalf("Gauss-Jordan and LU inverses differ by %g", d)
+	}
+}
+
+func TestInvertErrors(t *testing.T) {
+	if _, err := Invert(matrix.New(2, 3)); !errors.Is(err, ErrNotSquare) {
+		t.Fatalf("err = %v", err)
+	}
+	singular := matrix.FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Invert(singular); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInvertNeedsPivoting(t *testing.T) {
+	// Leading zero forces a row swap.
+	a := matrix.FromRows([][]float64{{0, 1}, {1, 0}})
+	inv, err := Invert(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(inv, a, 1e-14) {
+		t.Fatalf("swap matrix is its own inverse, got %v", inv)
+	}
+}
+
+func TestSequentialSteps(t *testing.T) {
+	if SequentialSteps(100) != 200 {
+		t.Fatalf("steps = %d", SequentialSteps(100))
+	}
+}
+
+func TestQuickInverseMatchesLU(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%16) + 1
+		a := workload.DiagonallyDominant(n, seed)
+		gj, err1 := Invert(a)
+		viaLU, err2 := lu.Invert(a)
+		return err1 == nil && err2 == nil && matrix.MaxAbsDiff(gj, viaLU) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

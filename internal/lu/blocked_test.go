@@ -1,0 +1,81 @@
+package lu
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+	"repro/internal/workload"
+)
+
+func TestDecomposeBlockedIdenticalToScalar(t *testing.T) {
+	// Panel pivoting sees full column height, so blocked and scalar
+	// factorizations must agree exactly — pivots, L, U, bit for bit.
+	for _, tc := range []struct{ n, bs int }{
+		{1, 4}, {7, 4}, {16, 4}, {33, 8}, {64, 48}, {100, 0}, {50, 200},
+	} {
+		a := workload.Random(tc.n, int64(tc.n*3+tc.bs))
+		scalar, err := Decompose(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocked, err := DecomposeBlocked(a, tc.bs)
+		if err != nil {
+			t.Fatalf("n=%d bs=%d: %v", tc.n, tc.bs, err)
+		}
+		if !matrix.Equal(scalar.LU, blocked.LU, 1e-13) {
+			t.Fatalf("n=%d bs=%d: LU differs by %g", tc.n, tc.bs, matrix.MaxAbsDiff(scalar.LU, blocked.LU))
+		}
+		for i := range scalar.P {
+			if scalar.P[i] != blocked.P[i] {
+				t.Fatalf("n=%d bs=%d: pivots differ at %d", tc.n, tc.bs, i)
+			}
+		}
+		if scalar.Det()*blocked.Det() < 0 {
+			t.Fatalf("n=%d bs=%d: determinant signs differ", tc.n, tc.bs)
+		}
+	}
+}
+
+func TestDecomposeBlockedErrors(t *testing.T) {
+	if _, err := DecomposeBlocked(matrix.New(2, 3), 4); !errors.Is(err, ErrNotSquare) {
+		t.Fatalf("err = %v", err)
+	}
+	sing := matrix.FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := DecomposeBlocked(sing, 1); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInvertBlocked(t *testing.T) {
+	a := workload.Random(96, 811)
+	inv, err := InvertBlocked(a, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := matrix.IdentityResidual(a, inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res > 1e-8 {
+		t.Fatalf("residual %g", res)
+	}
+}
+
+func TestQuickBlockedMatchesScalar(t *testing.T) {
+	f := func(seed int64, nRaw, bsRaw uint8) bool {
+		n := int(nRaw%48) + 1
+		bs := int(bsRaw%16) + 1
+		a := workload.DiagonallyDominant(n, seed)
+		s, err1 := Decompose(a)
+		b, err2 := DecomposeBlocked(a, bs)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return matrix.Equal(s.LU, b.LU, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+package lu
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/workload"
+)
+
+// lowerFrom extracts a well-conditioned lower triangular matrix from a
+// diagonally dominant source.
+func lowerFrom(n int, seed int64, unit bool) *matrix.Dense {
+	l := workload.DiagonallyDominant(n, seed)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			l.Set(i, j, 0)
+		}
+		if unit {
+			l.Set(i, i, 1)
+		}
+	}
+	return l
+}
+
+func upperFrom(n int, seed int64) *matrix.Dense {
+	return lowerFrom(n, seed, false).Transpose()
+}
+
+func TestForwardSubstMatrix(t *testing.T) {
+	n := 20
+	l := lowerFrom(n, 61, false)
+	x := workload.RandomRect(n, 7, 62)
+	b, err := matrix.Mul(l, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ForwardSubstMatrix(l, b, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(got, x); d > 1e-9 {
+		t.Fatalf("residual %g", d)
+	}
+}
+
+func TestForwardSubstMatrixUnitDiagonal(t *testing.T) {
+	n := 16
+	l := lowerFrom(n, 63, true)
+	x := workload.RandomRect(n, 5, 64)
+	b, _ := matrix.Mul(l, x)
+	// Scribble on the stored diagonal; unitDiagonal must ignore it.
+	for i := 0; i < n; i++ {
+		l.Set(i, i, 1234)
+	}
+	got, err := ForwardSubstMatrix(l, b, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(got, x); d > 1e-9 {
+		t.Fatalf("residual %g", d)
+	}
+}
+
+func TestForwardSubstMatrixErrors(t *testing.T) {
+	if _, err := ForwardSubstMatrix(matrix.New(2, 3), matrix.New(2, 2), false); err == nil {
+		t.Fatal("non-square L accepted")
+	}
+	if _, err := ForwardSubstMatrix(matrix.New(3, 3), matrix.New(2, 2), false); err == nil {
+		t.Fatal("mismatched B accepted")
+	}
+	zero := matrix.New(2, 2)
+	if _, err := ForwardSubstMatrix(zero, matrix.New(2, 2), false); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSolveRowsUpper(t *testing.T) {
+	n := 18
+	u := upperFrom(n, 65)
+	x := workload.RandomRect(6, n, 66)
+	b, err := matrix.Mul(x, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SolveRowsUpper(u, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(got, x); d > 1e-9 {
+		t.Fatalf("residual %g", d)
+	}
+}
+
+func TestSolveRowsUpperTransAgrees(t *testing.T) {
+	n := 14
+	u := upperFrom(n, 67)
+	x := workload.RandomRect(4, n, 68)
+	b, _ := matrix.Mul(x, u)
+	want, err := SolveRowsUpper(u, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SolveRowsUpperTrans(u.Transpose(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(got, want); d > 1e-12 {
+		t.Fatalf("transposed kernel differs by %g", d)
+	}
+}
+
+func TestSolveRowsUpperErrors(t *testing.T) {
+	if _, err := SolveRowsUpper(matrix.New(3, 3), matrix.New(2, 2)); err == nil {
+		t.Fatal("mismatched shapes accepted")
+	}
+	sing := matrix.FromRows([][]float64{{1, 2}, {0, 0}})
+	if _, err := SolveRowsUpper(sing, matrix.New(2, 2)); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := SolveRowsUpperTrans(sing.Transpose(), matrix.New(2, 2)); !errors.Is(err, ErrSingular) {
+		t.Fatalf("trans err = %v", err)
+	}
+}
+
+// TestEquation6RoundTrip ties the solves back to the block decomposition:
+// starting from a random A split in quadrants, L2' and U2 computed by the
+// solves satisfy Equation 5 exactly.
+func TestEquation6RoundTrip(t *testing.T) {
+	n, h := 24, 12
+	a := workload.DiagonallyDominant(n, 69)
+	a1 := a.Block(0, h, 0, h)
+	a2 := a.Block(0, h, h, n)
+	a3 := a.Block(h, n, 0, h)
+
+	f, err := Decompose(a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, u1 := f.L(), f.U()
+
+	// U2 from L1 U2 = P1 A2.
+	u2, err := ForwardSubstMatrix(l1, f.P.ApplyRows(a2), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lhs, _ := matrix.Mul(l1, u2)
+	if d := matrix.MaxAbsDiff(lhs, f.P.ApplyRows(a2)); d > 1e-10 {
+		t.Fatalf("L1 U2 != P1 A2 by %g", d)
+	}
+
+	// L2' from L2' U1 = A3.
+	l2p, err := SolveRowsUpper(u1, a3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lhs2, _ := matrix.Mul(l2p, u1)
+	if d := matrix.MaxAbsDiff(lhs2, a3); d > 1e-10 {
+		t.Fatalf("L2' U1 != A3 by %g", d)
+	}
+}

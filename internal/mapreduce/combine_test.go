@@ -1,0 +1,105 @@
+package mapreduce
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/dfs"
+)
+
+// sumCombiner merges numeric string values by addition.
+func sumCombiner(key string, values [][]byte) []byte {
+	total := 0
+	for _, v := range values {
+		n, _ := strconv.Atoi(string(v))
+		total += n
+	}
+	return []byte(strconv.Itoa(total))
+}
+
+func wordCountWithCombiner(docs []string, reducers int) *Job {
+	job := wordCountJob(docs, reducers)
+	// Map emits "1" per word; rewrite reduce to sum numeric values so the
+	// combiner composes correctly.
+	job.Combine = sumCombiner
+	job.Reduce = func(ctx *TaskContext, key string, values [][]byte, emit Emitter) error {
+		total := 0
+		for _, v := range values {
+			n, err := strconv.Atoi(string(v))
+			if err != nil {
+				return err
+			}
+			total += n
+		}
+		emit.Emit(key, []byte(strconv.Itoa(total)))
+		return nil
+	}
+	return job
+}
+
+func TestCombinerCorrectAndReducesShuffle(t *testing.T) {
+	docs := []string{
+		strings.Repeat("alpha ", 20) + "beta",
+		strings.Repeat("alpha ", 10) + strings.Repeat("beta ", 5),
+	}
+	run := func(combine bool) *JobResult {
+		c := NewCluster(dfs.New(2, 1), 2)
+		job := wordCountWithCombiner(docs, 2)
+		if !combine {
+			job.Combine = nil
+		}
+		res, err := c.Run(job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	with := run(true)
+	without := run(false)
+
+	// Same answers.
+	wm, wo := outputMap(t, with), outputMap(t, without)
+	if wm["alpha"] != "30" || wm["beta"] != "6" {
+		t.Fatalf("combined counts wrong: %v", wm)
+	}
+	for k, v := range wo {
+		if wm[k] != v {
+			t.Fatalf("combiner changed %s: %s vs %s", k, wm[k], v)
+		}
+	}
+	// Far fewer shuffled pairs: 2 keys x 2 map tasks vs 36 raw pairs.
+	if with.ShuffledKVs >= without.ShuffledKVs {
+		t.Fatalf("combiner did not reduce shuffle: %d vs %d", with.ShuffledKVs, without.ShuffledKVs)
+	}
+	if with.ShuffledKVs > 4 {
+		t.Fatalf("shuffled %d pairs, want <= keys x mapTasks = 4", with.ShuffledKVs)
+	}
+}
+
+func TestCombinerOnMapOnlyJobIgnoredSafely(t *testing.T) {
+	c := NewCluster(dfs.New(1, 1), 1)
+	job := &Job{
+		Name:    "maponly-combine",
+		Splits:  ControlSplits(2),
+		Combine: sumCombiner,
+		Map: func(ctx *TaskContext, split InputSplit, emit Emitter) error {
+			emit.Emit("k", []byte("1"))
+			emit.Emit("k", []byte("2"))
+			return nil
+		},
+	}
+	res, err := c.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Map-only output is still combined per map task: one pair per task.
+	if len(res.Output) != 2 {
+		t.Fatalf("output = %v", res.Output)
+	}
+	for _, kv := range res.Output {
+		if string(kv.Value) != "3" {
+			t.Fatalf("combined value = %s", kv.Value)
+		}
+	}
+}

@@ -1,0 +1,632 @@
+// Package mapreduce is a from-scratch MapReduce engine reproducing the
+// execution contract the HPDC 2014 paper relies on from Hadoop:
+//
+//   - a job is a set of independent map tasks over input splits, a shuffle
+//     that groups emitted (key, value) pairs by key, and a set of
+//     independent reduce tasks;
+//   - tasks communicate only through their inputs and outputs (here: the
+//     simulated distributed file system and the shuffled pairs);
+//   - failed task attempts are re-executed (fault tolerance), and only a
+//     successful attempt's output is visible;
+//   - jobs are chained into pipelines, each launch paying a fixed
+//     scheduling overhead — the constant the paper's nb tuning balances
+//     against master-node decomposition time (Section 5).
+//
+// Tasks execute on a pool of simulated cluster nodes backed by goroutines.
+// The engine is deterministic for deterministic task functions: shuffle
+// output is sorted by key and, within a key, by map task order.
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dfs"
+)
+
+// ErrTooManyFailures is returned when a task exhausts its attempts.
+var ErrTooManyFailures = errors.New("mapreduce: task failed too many times")
+
+// KV is one key/value pair flowing through the shuffle.
+type KV struct {
+	Key   string
+	Value []byte
+}
+
+// Emitter collects pairs from map and reduce functions.
+type Emitter interface {
+	Emit(key string, value []byte)
+}
+
+// InputSplit is the unit of map-task input. The paper's jobs use one tiny
+// control file per mapper containing the worker index (Section 5.1); Data
+// carries such inline payloads and Path optionally points into the DFS.
+type InputSplit struct {
+	ID   int
+	Path string
+	Data []byte
+}
+
+// TaskContext is passed to every map and reduce invocation.
+type TaskContext struct {
+	JobName string
+	TaskID  int
+	Attempt int
+	// Node is the simulated cluster node executing this attempt; tasks
+	// use it for locality-aware DFS reads.
+	Node int
+	// FS is the shared distributed file system.
+	FS *dfs.FS
+	// Config carries job-level parameters.
+	Config map[string]string
+
+	// counters accumulates this attempt's Hadoop-style counters; they are
+	// folded into the job's totals only if the attempt succeeds.
+	counters map[string]int64
+}
+
+// IncrCounter adds delta to a named job counter (Hadoop's
+// Reporter.incrCounter). Counters from failed or superseded attempts are
+// discarded, matching Hadoop's successful-attempt accounting.
+func (ctx *TaskContext) IncrCounter(name string, delta int64) {
+	if ctx.counters == nil {
+		ctx.counters = map[string]int64{}
+	}
+	ctx.counters[name] += delta
+}
+
+// MapFunc processes one input split.
+type MapFunc func(ctx *TaskContext, split InputSplit, emit Emitter) error
+
+// ReduceFunc processes one key group.
+type ReduceFunc func(ctx *TaskContext, key string, values [][]byte, emit Emitter) error
+
+// Partitioner maps a key to a reduce task index.
+type Partitioner func(key string, numReduce int) int
+
+// DefaultPartitioner hashes the key (FNV-1a), Hadoop's default behaviour.
+func DefaultPartitioner(key string, numReduce int) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32()) % numReduce
+}
+
+// CombineFunc merges the values of one key on the map side before the
+// shuffle (Hadoop's combiner). It must be associative and commutative.
+type CombineFunc func(key string, values [][]byte) []byte
+
+// Job describes one MapReduce job.
+type Job struct {
+	Name      string
+	Splits    []InputSplit
+	Map       MapFunc
+	Reduce    ReduceFunc // nil means a map-only job (like the partition job)
+	NumReduce int
+	// Combine, when non-nil, collapses each map task's output per key
+	// before the shuffle, cutting ShuffledKVs (the classic wordcount
+	// optimization).
+	Combine    CombineFunc
+	Partition  Partitioner // nil selects DefaultPartitioner
+	Config     map[string]string
+	MaxAttempt int // per-task attempt budget; 0 selects the cluster default
+	// Prefer, when non-nil, lists the datanodes holding map task i's
+	// input. The scheduler practices delay scheduling: a worker on a
+	// non-preferred node defers such a task (a bounded number of times)
+	// so a local worker can pick it up, reproducing Hadoop's data-local
+	// task placement.
+	Prefer func(task int) []int
+}
+
+// JobResult reports one executed job.
+type JobResult struct {
+	Job          string
+	Output       []KV // reduce output (or map output for map-only jobs), sorted
+	MapTasks     int
+	ReduceTasks  int
+	TaskFailures int
+	// SpeculativeTasks counts backup attempts launched for stragglers.
+	SpeculativeTasks int
+	ShuffledKVs      int
+	// Counters aggregates TaskContext.IncrCounter values from successful
+	// attempts.
+	Counters map[string]int64
+	Elapsed  time.Duration
+}
+
+// FailureInjector decides whether a given task attempt should fail
+// artificially; used by tests and the Section 7.4 failure-recovery
+// experiment. isMap distinguishes map from reduce attempts.
+type FailureInjector func(job string, taskID, attempt int, isMap bool) error
+
+// Cluster executes jobs on a fixed pool of simulated nodes.
+type Cluster struct {
+	FS *dfs.FS
+	// Slots is the number of task slots executing concurrently — the
+	// paper's m0 compute nodes.
+	Slots int
+	// LaunchOverhead is charged (as recorded time, and optionally slept)
+	// once per job, reproducing Hadoop's constant job-launch latency.
+	LaunchOverhead time.Duration
+	// SleepOnLaunch makes LaunchOverhead real wall-clock time; tests leave
+	// it false so overhead is only accounted, not suffered.
+	SleepOnLaunch bool
+	// DefaultMaxAttempts bounds task retries (Hadoop's
+	// mapred.map.max.attempts, default 4).
+	DefaultMaxAttempts int
+	// InjectFailure, when non-nil, is consulted before each task attempt.
+	InjectFailure FailureInjector
+	// Speculative enables Hadoop-style speculative execution: when idle
+	// slots exist, a backup attempt is launched for any task that has run
+	// longer than SpeculativeSlack and longer than SpeculativeRatio times
+	// the median completed-task time. The first attempt to finish wins;
+	// the loser's output and counters are discarded.
+	Speculative      bool
+	SpeculativeSlack time.Duration
+	SpeculativeRatio float64
+
+	mu       sync.Mutex
+	jobsRun  int
+	failures int
+}
+
+// NewCluster builds a cluster with the given slot count over fs.
+func NewCluster(fs *dfs.FS, slots int) *Cluster {
+	if slots < 1 {
+		slots = 1
+	}
+	return &Cluster{FS: fs, Slots: slots, DefaultMaxAttempts: 4}
+}
+
+// JobsRun returns how many jobs the cluster has executed.
+func (c *Cluster) JobsRun() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.jobsRun
+}
+
+// TaskFailures returns the cumulative number of failed task attempts.
+func (c *Cluster) TaskFailures() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failures
+}
+
+// emitBuffer is a private Emitter accumulating pairs in order.
+type emitBuffer struct {
+	kvs []KV
+}
+
+func (b *emitBuffer) Emit(key string, value []byte) {
+	v := append([]byte(nil), value...)
+	b.kvs = append(b.kvs, KV{Key: key, Value: v})
+}
+
+// Run executes the job to completion and returns its result.
+func (c *Cluster) Run(job *Job) (*JobResult, error) {
+	start := time.Now()
+	if c.SleepOnLaunch && c.LaunchOverhead > 0 {
+		time.Sleep(c.LaunchOverhead)
+	}
+	maxAttempts := job.MaxAttempt
+	if maxAttempts <= 0 {
+		maxAttempts = c.DefaultMaxAttempts
+	}
+	if maxAttempts <= 0 {
+		maxAttempts = 1
+	}
+	part := job.Partition
+	if part == nil {
+		part = DefaultPartitioner
+	}
+
+	// ---- Map phase ----
+	mapPhase, err := c.runPhaseLocal(len(job.Splits), maxAttempts, job.Prefer, func(i, attempt, node int) (any, map[string]int64, error) {
+		if c.InjectFailure != nil {
+			if ferr := c.InjectFailure(job.Name, i, attempt, true); ferr != nil {
+				return nil, nil, ferr
+			}
+		}
+		ctx := &TaskContext{JobName: job.Name, TaskID: i, Attempt: attempt, Node: node, FS: c.FS, Config: job.Config}
+		buf := &emitBuffer{}
+		if err := job.Map(ctx, job.Splits[i], buf); err != nil {
+			return nil, nil, err
+		}
+		kvs := buf.kvs
+		if job.Combine != nil {
+			kvs = combineLocal(kvs, job.Combine)
+		}
+		return kvs, ctx.counters, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: job %s map phase: %w", job.Name, err)
+	}
+	mapOutputs := make([][]KV, len(job.Splits))
+	for i, r := range mapPhase.results {
+		if r != nil {
+			mapOutputs[i] = r.([]KV)
+		}
+	}
+	totalFailures := mapPhase.failures
+
+	res := &JobResult{
+		Job:              job.Name,
+		MapTasks:         len(job.Splits),
+		Counters:         mapPhase.counters,
+		SpeculativeTasks: mapPhase.speculative,
+	}
+
+	if job.Reduce == nil || job.NumReduce <= 0 {
+		// Map-only job: output is the concatenated, sorted map output.
+		var out []KV
+		for _, kvs := range mapOutputs {
+			out = append(out, kvs...)
+		}
+		sortKVs(out)
+		res.Output = out
+		res.TaskFailures = totalFailures
+		res.Elapsed = time.Since(start) + c.LaunchOverhead
+		c.finishJob(totalFailures)
+		return res, nil
+	}
+
+	// ---- Shuffle ----
+	// Partition map output; within each partition group values by key.
+	// Iterating map tasks in index order keeps grouped values in a
+	// deterministic order independent of scheduling.
+	buckets := make([]map[string][][]byte, job.NumReduce)
+	for i := range buckets {
+		buckets[i] = make(map[string][][]byte)
+	}
+	shuffled := 0
+	for _, kvs := range mapOutputs {
+		for _, kv := range kvs {
+			p := part(kv.Key, job.NumReduce)
+			if p < 0 || p >= job.NumReduce {
+				return nil, fmt.Errorf("mapreduce: job %s: partitioner returned %d for %d reducers", job.Name, p, job.NumReduce)
+			}
+			buckets[p][kv.Key] = append(buckets[p][kv.Key], kv.Value)
+			shuffled++
+		}
+	}
+	res.ShuffledKVs = shuffled
+
+	// ---- Reduce phase ----
+	redPhase, err := c.runPhase(job.NumReduce, maxAttempts, func(r, attempt, node int) (any, map[string]int64, error) {
+		if c.InjectFailure != nil {
+			if ferr := c.InjectFailure(job.Name, r, attempt, false); ferr != nil {
+				return nil, nil, ferr
+			}
+		}
+		ctx := &TaskContext{JobName: job.Name, TaskID: r, Attempt: attempt, Node: node, FS: c.FS, Config: job.Config}
+		keys := make([]string, 0, len(buckets[r]))
+		for k := range buckets[r] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		buf := &emitBuffer{}
+		for _, k := range keys {
+			if err := job.Reduce(ctx, k, buckets[r][k], buf); err != nil {
+				return nil, nil, err
+			}
+		}
+		return buf.kvs, ctx.counters, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: job %s reduce phase: %w", job.Name, err)
+	}
+	totalFailures += redPhase.failures
+	res.SpeculativeTasks += redPhase.speculative
+	for k, v := range redPhase.counters {
+		res.Counters[k] += v
+	}
+
+	var out []KV
+	for _, r := range redPhase.results {
+		if r != nil {
+			out = append(out, r.([]KV)...)
+		}
+	}
+	sortKVs(out)
+	res.Output = out
+	res.ReduceTasks = job.NumReduce
+	res.TaskFailures = totalFailures
+	res.Elapsed = time.Since(start) + c.LaunchOverhead
+	c.finishJob(totalFailures)
+	return res, nil
+}
+
+func (c *Cluster) finishJob(failures int) {
+	c.mu.Lock()
+	c.jobsRun++
+	c.failures += failures
+	c.mu.Unlock()
+}
+
+// taskFn computes one task attempt, returning its published result and
+// its counters.
+type taskFn func(task, attempt, node int) (any, map[string]int64, error)
+
+// deferBudgetPerSlot bounds how many times a task may be deferred for
+// locality before any worker runs it (Hadoop's delay-scheduling timeout).
+const deferBudgetPerSlot = 8
+
+// phaseResult carries one phase's outcome.
+type phaseResult struct {
+	results     []any
+	counters    map[string]int64
+	failures    int
+	speculative int
+}
+
+// runPhase executes n tasks on the worker pool with per-task retry (up to
+// maxAttempts failures) and optional speculative execution. Only the
+// first successful attempt of a task publishes its result and counters.
+func (c *Cluster) runPhase(n, maxAttempts int, run taskFn) (*phaseResult, error) {
+	return c.runPhaseLocal(n, maxAttempts, nil, run)
+}
+
+// runPhaseLocal is runPhase with an optional locality preference.
+func (c *Cluster) runPhaseLocal(n, maxAttempts int, prefer func(task int) []int, run taskFn) (*phaseResult, error) {
+	pr := &phaseResult{results: make([]any, n), counters: map[string]int64{}}
+	if n == 0 {
+		return pr, nil
+	}
+	type try struct {
+		id       int
+		attempt  int
+		deferred int
+	}
+	work := make(chan try, n*(maxAttempts+3)+16)
+	for i := 0; i < n; i++ {
+		work <- try{id: i, attempt: 0}
+	}
+	deferBudget := deferBudgetPerSlot * c.Slots
+	isPreferred := func(task, node int) bool {
+		if prefer == nil {
+			return true
+		}
+		nodes := prefer(task)
+		if len(nodes) == 0 {
+			return true
+		}
+		for _, p := range nodes {
+			if p == node {
+				return true
+			}
+		}
+		return false
+	}
+	var (
+		mu        sync.Mutex
+		done      = make([]bool, n)
+		running   = make([]int, n)
+		started   = make([]time.Time, n)
+		failCount = make([]int, n)
+		specDone  = make([]bool, n) // one backup attempt per task at most
+		remaining = n
+		durations []float64
+		fatal     error
+		closed    bool // phase finished; stragglers must not touch pr
+	)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	closeStop := func() { stopOnce.Do(func() { close(stop) }) }
+
+	for s := 0; s < c.Slots; s++ {
+		go func(node int) {
+			for {
+				select {
+				case <-stop:
+					return
+				case t := <-work:
+					mu.Lock()
+					if done[t.id] || fatal != nil {
+						mu.Unlock()
+						continue
+					}
+					// Delay scheduling: give a local worker a chance. The
+					// short sleep is the "delay" — budget expiry must cost
+					// wall-clock time, or a busy local worker never gets
+					// its turn before the budget burns out.
+					if t.deferred < deferBudget && !isPreferred(t.id, node) {
+						mu.Unlock()
+						t.deferred++
+						work <- t
+						time.Sleep(200 * time.Microsecond)
+						continue
+					}
+					running[t.id]++
+					if running[t.id] == 1 {
+						started[t.id] = time.Now()
+					}
+					mu.Unlock()
+
+					begin := time.Now()
+					result, counters, err := runSafely(func() (any, map[string]int64, error) {
+						return run(t.id, t.attempt, node)
+					})
+
+					mu.Lock()
+					running[t.id]--
+					if closed {
+						mu.Unlock() // phase already over; abandoned attempt
+						return
+					}
+					if done[t.id] {
+						mu.Unlock() // a faster attempt already won
+						continue
+					}
+					if err != nil {
+						pr.failures++
+						failCount[t.id]++
+						if failCount[t.id] >= maxAttempts {
+							if running[t.id] == 0 && fatal == nil {
+								fatal = fmt.Errorf("task %d attempt %d: %v: %w", t.id, t.attempt, err, ErrTooManyFailures)
+								closeStop()
+							}
+							mu.Unlock()
+							continue
+						}
+						mu.Unlock()
+						work <- try{id: t.id, attempt: t.attempt + 1}
+						continue
+					}
+					done[t.id] = true
+					pr.results[t.id] = result
+					for k, v := range counters {
+						pr.counters[k] += v
+					}
+					durations = append(durations, time.Since(begin).Seconds())
+					remaining--
+					if remaining == 0 {
+						closeStop()
+					}
+					mu.Unlock()
+				}
+			}
+		}(s % maxInt(1, c.nodesForScheduling()))
+	}
+
+	// Speculative monitor: duplicate stragglers onto idle capacity.
+	if c.Speculative {
+		go func() {
+			ticker := time.NewTicker(2 * time.Millisecond)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ticker.C:
+					mu.Lock()
+					med := median(durations)
+					ratio := c.SpeculativeRatio
+					if ratio <= 1 {
+						ratio = 2
+					}
+					for i := 0; i < n; i++ {
+						if done[i] || specDone[i] || running[i] != 1 {
+							continue
+						}
+						el := time.Since(started[i])
+						if el < c.SpeculativeSlack {
+							continue
+						}
+						if med > 0 && el.Seconds() < ratio*med {
+							continue
+						}
+						if med == 0 && len(durations) == 0 && c.SpeculativeSlack <= 0 {
+							continue
+						}
+						specDone[i] = true
+						pr.speculative++
+						work <- try{id: i, attempt: maxAttempts} // distinct attempt id
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+
+	// Wait for the phase outcome (all tasks done, or a fatal failure) —
+	// not for every attempt goroutine: a superseded straggler keeps
+	// running in the background like a Hadoop attempt awaiting its kill,
+	// but the `closed` flag bars it from touching the phase result.
+	<-stop
+	mu.Lock()
+	closed = true
+	f := fatal
+	mu.Unlock()
+	if f != nil {
+		return pr, f
+	}
+	return pr, nil
+}
+
+// combineLocal applies the combiner to one map task's output: values are
+// grouped by key (preserving first-occurrence order) and collapsed to a
+// single pair per key.
+func combineLocal(kvs []KV, combine CombineFunc) []KV {
+	groups := map[string][][]byte{}
+	var order []string
+	for _, kv := range kvs {
+		if _, ok := groups[kv.Key]; !ok {
+			order = append(order, kv.Key)
+		}
+		groups[kv.Key] = append(groups[kv.Key], kv.Value)
+	}
+	out := make([]KV, 0, len(order))
+	for _, k := range order {
+		out = append(out, KV{Key: k, Value: combine(k, groups[k])})
+	}
+	return out
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return cp[len(cp)/2]
+}
+
+// nodesForScheduling maps slots onto DFS datanodes for locality accounting.
+func (c *Cluster) nodesForScheduling() int {
+	if c.FS != nil {
+		return c.FS.Nodes()
+	}
+	return c.Slots
+}
+
+// runSafely converts a panic inside task code into a task error so the
+// fault-tolerance machinery treats it as a failed attempt, the way Hadoop
+// treats a crashed task JVM.
+func runSafely(f func() (any, map[string]int64, error)) (result any, counters map[string]int64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			result, counters = nil, nil
+			err = fmt.Errorf("task panic: %v", r)
+		}
+	}()
+	return f()
+}
+
+func sortKVs(kvs []KV) {
+	sort.SliceStable(kvs, func(i, j int) bool { return kvs[i].Key < kvs[j].Key })
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Pipeline runs jobs sequentially, as the paper's Figure 2 chain of
+// MapReduce jobs, stopping at the first error.
+func (c *Cluster) Pipeline(jobs []*Job) ([]*JobResult, error) {
+	results := make([]*JobResult, 0, len(jobs))
+	for _, j := range jobs {
+		r, err := c.Run(j)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// ControlSplits builds the paper's Section 5.1 control inputs: m0 splits,
+// the i-th containing just the integer i, so each mapper learns its role
+// from its input file.
+func ControlSplits(m0 int) []InputSplit {
+	splits := make([]InputSplit, m0)
+	for i := range splits {
+		splits[i] = InputSplit{ID: i, Path: fmt.Sprintf("Root/MapInput/A.%d", i), Data: []byte(fmt.Sprintf("%d", i))}
+	}
+	return splits
+}

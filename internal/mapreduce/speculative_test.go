@@ -1,0 +1,190 @@
+package mapreduce
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dfs"
+)
+
+func TestCountersAggregated(t *testing.T) {
+	c := NewCluster(dfs.New(2, 1), 2)
+	job := &Job{
+		Name:   "counted",
+		Splits: ControlSplits(4),
+		Map: func(ctx *TaskContext, split InputSplit, emit Emitter) error {
+			ctx.IncrCounter("records", 10)
+			ctx.IncrCounter("bytes", int64(split.ID))
+			emit.Emit("k", split.Data)
+			return nil
+		},
+		Reduce: func(ctx *TaskContext, key string, values [][]byte, emit Emitter) error {
+			ctx.IncrCounter("groups", 1)
+			return nil
+		},
+		NumReduce: 2,
+	}
+	res, err := c.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters["records"] != 40 {
+		t.Fatalf("records = %d", res.Counters["records"])
+	}
+	if res.Counters["bytes"] != 0+1+2+3 {
+		t.Fatalf("bytes = %d", res.Counters["bytes"])
+	}
+	if res.Counters["groups"] != 1 {
+		t.Fatalf("groups = %d", res.Counters["groups"])
+	}
+}
+
+func TestCountersFromFailedAttemptsDiscarded(t *testing.T) {
+	c := NewCluster(dfs.New(1, 1), 1)
+	var mu sync.Mutex
+	attempts := map[int]int{}
+	job := &Job{
+		Name:   "retry-counted",
+		Splits: ControlSplits(3),
+		Map: func(ctx *TaskContext, split InputSplit, emit Emitter) error {
+			ctx.IncrCounter("work", 1)
+			mu.Lock()
+			attempts[split.ID]++
+			first := attempts[split.ID] == 1
+			mu.Unlock()
+			if first {
+				return errTest
+			}
+			return nil
+		},
+	}
+	res, err := c.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each of the 3 tasks succeeded exactly once; the failed attempts'
+	// counters must not leak in.
+	if res.Counters["work"] != 3 {
+		t.Fatalf("work = %d, want 3", res.Counters["work"])
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "test failure" }
+
+func TestSpeculativeExecutionRescuesStraggler(t *testing.T) {
+	c := NewCluster(dfs.New(4, 1), 4)
+	c.Speculative = true
+	c.SpeculativeSlack = 20 * time.Millisecond
+	c.SpeculativeRatio = 2
+
+	var mu sync.Mutex
+	launches := map[int]int{}
+	job := &Job{
+		Name:   "straggler",
+		Splits: ControlSplits(6),
+		Map: func(ctx *TaskContext, split InputSplit, emit Emitter) error {
+			mu.Lock()
+			launches[split.ID]++
+			n := launches[split.ID]
+			mu.Unlock()
+			// Task 0's first attempt hangs far beyond the others; its
+			// speculative copy is fast.
+			if split.ID == 0 && n == 1 {
+				time.Sleep(2 * time.Second)
+			} else {
+				time.Sleep(2 * time.Millisecond)
+			}
+			emit.Emit(strconv.Itoa(split.ID), nil)
+			return nil
+		},
+	}
+	start := time.Now()
+	res, err := c.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 1500*time.Millisecond {
+		t.Fatalf("speculation did not rescue the straggler (took %v)", time.Since(start))
+	}
+	if res.SpeculativeTasks == 0 {
+		t.Fatal("no speculative task recorded")
+	}
+	if len(res.Output) != 6 {
+		t.Fatalf("output = %d keys", len(res.Output))
+	}
+	// Exactly one speculative duplicate for task 0.
+	mu.Lock()
+	defer mu.Unlock()
+	if launches[0] < 2 {
+		t.Fatalf("straggler launched %d times", launches[0])
+	}
+}
+
+func TestSpeculativeLoserOutputDiscarded(t *testing.T) {
+	// Both attempts of the straggler eventually finish; the job output
+	// must contain the key exactly once and counters must count one
+	// attempt only.
+	c := NewCluster(dfs.New(2, 1), 2)
+	c.Speculative = true
+	c.SpeculativeSlack = 10 * time.Millisecond
+	c.SpeculativeRatio = 2
+
+	var mu sync.Mutex
+	launches := 0
+	job := &Job{
+		Name:   "dup",
+		Splits: ControlSplits(2),
+		Map: func(ctx *TaskContext, split InputSplit, emit Emitter) error {
+			ctx.IncrCounter("attempts-finished", 1)
+			if split.ID == 0 {
+				mu.Lock()
+				launches++
+				mu.Unlock()
+				time.Sleep(80 * time.Millisecond)
+			}
+			emit.Emit(strconv.Itoa(split.ID), nil)
+			return nil
+		},
+		Reduce: func(ctx *TaskContext, key string, values [][]byte, emit Emitter) error {
+			emit.Emit(key, []byte(strconv.Itoa(len(values))))
+			return nil
+		},
+		NumReduce: 1,
+	}
+	res, err := c.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kv := range res.Output {
+		if string(kv.Value) != "1" {
+			t.Fatalf("key %s emitted %s times — duplicate output leaked", kv.Key, kv.Value)
+		}
+	}
+}
+
+func TestSpeculationOffByDefault(t *testing.T) {
+	c := NewCluster(dfs.New(2, 1), 2)
+	job := &Job{
+		Name:   "slow-but-fine",
+		Splits: ControlSplits(3),
+		Map: func(ctx *TaskContext, split InputSplit, emit Emitter) error {
+			if split.ID == 0 {
+				time.Sleep(30 * time.Millisecond)
+			}
+			return nil
+		},
+	}
+	res, err := c.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpeculativeTasks != 0 {
+		t.Fatalf("speculation ran while disabled: %d", res.SpeculativeTasks)
+	}
+}

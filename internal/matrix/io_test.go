@@ -1,0 +1,140 @@
+package matrix
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	m := randDense(rng, 13, 7)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(got, m, 0) {
+		t.Fatal("text round-trip not exact")
+	}
+}
+
+func TestTextRoundTripExtremeValues(t *testing.T) {
+	m := FromRows([][]float64{
+		{0, -0, 1e-308, -1e308},
+		{math.Pi, 1.0 / 3.0, math.SmallestNonzeroFloat64, math.MaxFloat64},
+	})
+	var buf bytes.Buffer
+	if err := WriteText(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(got, m, 0) {
+		t.Fatal("extreme values must round-trip exactly through 17-digit formatting")
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	if _, err := ReadText(strings.NewReader("1 2\n3\n")); err == nil {
+		t.Fatal("ragged input accepted")
+	}
+	if _, err := ReadText(strings.NewReader("1 x\n")); err == nil {
+		t.Fatal("non-numeric input accepted")
+	}
+}
+
+func TestReadTextSkipsBlankLines(t *testing.T) {
+	m, err := ReadText(strings.NewReader("1 2\n\n3 4\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 2 || m.At(1, 1) != 4 {
+		t.Fatalf("parsed %v", m)
+	}
+}
+
+func TestReadTextEmpty(t *testing.T) {
+	m, err := ReadText(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 0 || m.Cols != 0 {
+		t.Fatalf("empty input gave %dx%d", m.Rows, m.Cols)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	m := randDense(rng, 9, 17)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if int64(buf.Len()) != BinarySize(9, 17) {
+		t.Fatalf("binary size = %d, want %d", buf.Len(), BinarySize(9, 17))
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(got, m, 0) {
+		t.Fatal("binary round-trip not exact")
+	}
+}
+
+func TestReadBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte{1, 2, 3, 4, 0, 0, 0, 0, 0, 0, 0, 0})); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestReadBinaryTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	m := randDense(rng, 4, 4)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestSizeEstimates(t *testing.T) {
+	// Table 3 sanity: binary is 8 bytes/element, text roughly 2.5x that.
+	if BinarySize(1000, 1000) != 12+8_000_000 {
+		t.Fatalf("BinarySize = %d", BinarySize(1000, 1000))
+	}
+	if TextSizeEstimate(1000, 1000) <= BinarySize(1000, 1000) {
+		t.Fatal("text estimate should exceed binary size")
+	}
+}
+
+// Property: write/read composition is the identity for both codecs.
+func TestQuickIORoundTrip(t *testing.T) {
+	f := func(seed int64, rRaw, cRaw uint8) bool {
+		r := int(rRaw%12) + 1
+		c := int(cRaw%12) + 1
+		m := randDense(rand.New(rand.NewSource(seed)), r, c)
+		var tb, bb bytes.Buffer
+		if WriteText(&tb, m) != nil || WriteBinary(&bb, m) != nil {
+			return false
+		}
+		fromText, err1 := ReadText(&tb)
+		fromBin, err2 := ReadBinary(&bb)
+		return err1 == nil && err2 == nil && Equal(fromText, m, 0) && Equal(fromBin, m, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

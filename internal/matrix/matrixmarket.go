@@ -1,0 +1,101 @@
+package matrix
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// MatrixMarket array-format I/O, for interoperability with the standard
+// test-matrix collections (NIST Matrix Market / SuiteSparse). Only the
+// dense ("array") real general format is supported — the natural exchange
+// format for the dense inversion workloads this repository targets.
+
+const mmHeader = "%%MatrixMarket matrix array real general"
+
+// WriteMatrixMarket writes m in MatrixMarket array format: the header
+// line, a dimension line, then column-major values one per line.
+func WriteMatrixMarket(w io.Writer, m *Dense) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%s\n%d %d\n", mmHeader, m.Rows, m.Cols); err != nil {
+		return err
+	}
+	for j := 0; j < m.Cols; j++ {
+		for i := 0; i < m.Rows; i++ {
+			if _, err := bw.WriteString(strconv.FormatFloat(m.At(i, j), 'g', 17, 64)); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket parses a dense real general MatrixMarket stream.
+func ReadMatrixMarket(r io.Reader) (*Dense, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+
+	// Header.
+	if !sc.Scan() {
+		return nil, fmt.Errorf("matrix: MatrixMarket: empty input")
+	}
+	header := strings.ToLower(strings.Join(strings.Fields(sc.Text()), " "))
+	if !strings.HasPrefix(header, "%%matrixmarket") {
+		return nil, fmt.Errorf("matrix: MatrixMarket: bad header %q", sc.Text())
+	}
+	for _, want := range []string{"matrix", "array", "real", "general"} {
+		if !strings.Contains(header, want) {
+			return nil, fmt.Errorf("matrix: MatrixMarket: unsupported format %q (need array real general)", sc.Text())
+		}
+	}
+
+	// Dimension line (comments skipped).
+	var rows, cols int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscanf(line, "%d %d", &rows, &cols); err != nil {
+			return nil, fmt.Errorf("matrix: MatrixMarket: bad size line %q: %v", line, err)
+		}
+		break
+	}
+	if rows < 0 || cols < 0 || rows > 1<<24 || cols > 1<<24 {
+		return nil, fmt.Errorf("matrix: MatrixMarket: implausible dims %dx%d", rows, cols)
+	}
+
+	m := New(rows, cols)
+	// Values, column-major.
+	idx := 0
+	total := rows * cols
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		for _, field := range strings.Fields(line) {
+			if idx >= total {
+				return nil, fmt.Errorf("matrix: MatrixMarket: more than %d values", total)
+			}
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("matrix: MatrixMarket value %d: %v", idx, err)
+			}
+			m.Set(idx%rows, idx/rows, v)
+			idx++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if idx != total {
+		return nil, fmt.Errorf("matrix: MatrixMarket: %d of %d values present", idx, total)
+	}
+	return m, nil
+}

@@ -1,0 +1,78 @@
+package matrix
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	m := randDense(rng, 7, 5)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "%%MatrixMarket") {
+		t.Fatalf("header missing: %q", buf.String()[:40])
+	}
+	got, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(got, m, 0) {
+		t.Fatal("round-trip not exact")
+	}
+}
+
+func TestReadMatrixMarketWithComments(t *testing.T) {
+	src := `%%MatrixMarket matrix array real general
+% a comment
+2 2
+1
+2
+3
+4
+`
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column-major: first column (1,2), second (3,4).
+	want := FromRows([][]float64{{1, 3}, {2, 4}})
+	if !Equal(m, want, 0) {
+		t.Fatalf("parsed %v", m)
+	}
+}
+
+func TestReadMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"not a header\n1 1\n1\n",
+		"%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 1\n",
+		"%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n", // short
+		"%%MatrixMarket matrix array real general\n1 1\n1\n2\n",    // long
+		"%%MatrixMarket matrix array real general\nx y\n",
+		"%%MatrixMarket matrix array real general\n1 1\nnotanumber\n",
+	}
+	for i, src := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestMatrixMarketEmptyMatrix(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, New(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 0 || m.Cols != 0 {
+		t.Fatalf("dims %dx%d", m.Rows, m.Cols)
+	}
+}

@@ -1,0 +1,151 @@
+package matrix
+
+import "math"
+
+// Add returns a + b.
+func Add(a, b *Dense) (*Dense, error) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return nil, shapeErr("matrix: Add", a, b)
+	}
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v + b.Data[i]
+	}
+	return out, nil
+}
+
+// Sub returns a - b.
+func Sub(a, b *Dense) (*Dense, error) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return nil, shapeErr("matrix: Sub", a, b)
+	}
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v - b.Data[i]
+	}
+	return out, nil
+}
+
+// SubInPlace subtracts b from a, storing the result in a.
+func SubInPlace(a, b *Dense) error {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return shapeErr("matrix: SubInPlace", a, b)
+	}
+	for i, v := range b.Data {
+		a.Data[i] -= v
+	}
+	return nil
+}
+
+// Scale returns s * a in a new matrix.
+func Scale(s float64, a *Dense) *Dense {
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = s * v
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product a*x.
+func MulVec(a *Dense, x []float64) ([]float64, error) {
+	if a.Cols != len(x) {
+		return nil, shapeErr("matrix: MulVec", a, &Dense{Rows: len(x), Cols: 1})
+	}
+	out := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Dot returns the inner product of x and y. It panics if lengths differ.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("matrix: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// VecNorm2 returns the Euclidean norm of x.
+func VecNorm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Equal reports whether a and b have the same shape and all elements within
+// tol of each other (absolute difference).
+func Equal(a, b *Dense, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i, v := range a.Data {
+		if math.Abs(v-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between a
+// and b, or +Inf if the shapes differ.
+func MaxAbsDiff(a, b *Dense) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return math.Inf(1)
+	}
+	var m float64
+	for i, v := range a.Data {
+		if d := math.Abs(v - b.Data[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// IsFinite reports whether every element of m is finite (no NaN or Inf).
+func IsFinite(m *Dense) bool {
+	for _, v := range m.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// IdentityResidual returns max |I - A*B|, the paper's Section 7.2 acceptance
+// metric (every element of I_n - M M^-1 must be small). A and B must be
+// square with equal order.
+func IdentityResidual(a, b *Dense) (float64, error) {
+	if !a.IsSquare() || !b.IsSquare() || a.Rows != b.Rows {
+		return 0, shapeErr("matrix: IdentityResidual", a, b)
+	}
+	prod, err := Mul(a, b)
+	if err != nil {
+		return 0, err
+	}
+	n := a.Rows
+	var worst float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := 0.0
+			if i == j {
+				want = 1.0
+			}
+			if d := math.Abs(prod.At(i, j) - want); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst, nil
+}

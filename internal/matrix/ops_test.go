@@ -1,0 +1,168 @@
+package matrix
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAddSub(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{10, 20}, {30, 40}})
+	sum, err := Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(sum, FromRows([][]float64{{11, 22}, {33, 44}}), 0) {
+		t.Fatalf("Add = %v", sum)
+	}
+	diff, err := Sub(sum, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(diff, a, 0) {
+		t.Fatalf("Sub = %v", diff)
+	}
+}
+
+func TestAddShapeError(t *testing.T) {
+	_, err := Add(New(2, 2), New(2, 3))
+	if !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+	_, err = Sub(New(1, 2), New(2, 2))
+	if !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestSubInPlace(t *testing.T) {
+	a := FromRows([][]float64{{5, 6}, {7, 8}})
+	b := FromRows([][]float64{{1, 1}, {1, 1}})
+	if err := SubInPlace(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(a, FromRows([][]float64{{4, 5}, {6, 7}}), 0) {
+		t.Fatalf("SubInPlace = %v", a)
+	}
+	if err := SubInPlace(a, New(3, 3)); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestScale(t *testing.T) {
+	a := FromRows([][]float64{{1, -2}})
+	s := Scale(-3, a)
+	if !Equal(s, FromRows([][]float64{{-3, 6}}), 0) {
+		t.Fatalf("Scale = %v", s)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	y, err := MulVec(a, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 3 || y[1] != 7 {
+		t.Fatalf("MulVec = %v", y)
+	}
+	if _, err := MulVec(a, []float64{1}); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDotAndVecNorm2(t *testing.T) {
+	if d := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); d != 32 {
+		t.Fatalf("Dot = %v", d)
+	}
+	if n := VecNorm2([]float64{3, 4}); n != 5 {
+		t.Fatalf("VecNorm2 = %v", n)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot length mismatch must panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestEqualTolerance(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{1.0005, 2}})
+	if Equal(a, b, 1e-4) {
+		t.Fatal("should differ at tol 1e-4")
+	}
+	if !Equal(a, b, 1e-3) {
+		t.Fatal("should match at tol 1e-3")
+	}
+	if Equal(a, New(1, 3), 1) {
+		t.Fatal("different shapes must not be equal")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{1, 2.5}, {3, 4}})
+	if d := MaxAbsDiff(a, b); d != 0.5 {
+		t.Fatalf("MaxAbsDiff = %v", d)
+	}
+	if d := MaxAbsDiff(a, New(1, 1)); !math.IsInf(d, 1) {
+		t.Fatalf("shape mismatch diff = %v", d)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	m := New(2, 2)
+	if !IsFinite(m) {
+		t.Fatal("zero matrix must be finite")
+	}
+	m.Set(0, 1, math.NaN())
+	if IsFinite(m) {
+		t.Fatal("NaN not detected")
+	}
+	m.Set(0, 1, math.Inf(-1))
+	if IsFinite(m) {
+		t.Fatal("Inf not detected")
+	}
+}
+
+func TestIdentityResidual(t *testing.T) {
+	a := FromRows([][]float64{{2, 0}, {0, 4}})
+	ainv := FromRows([][]float64{{0.5, 0}, {0, 0.25}})
+	res, err := IdentityResidual(a, ainv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != 0 {
+		t.Fatalf("residual = %v", res)
+	}
+	// A wrong inverse must show a visible residual.
+	res, err = IdentityResidual(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res < 1 {
+		t.Fatalf("residual for wrong inverse = %v", res)
+	}
+	if _, err := IdentityResidual(a, New(3, 3)); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAddCommutesAndAssociates(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a, b, c := randDense(rng, 6, 6), randDense(rng, 6, 6), randDense(rng, 6, 6)
+	ab, _ := Add(a, b)
+	ba, _ := Add(b, a)
+	if !Equal(ab, ba, 0) {
+		t.Fatal("A+B != B+A")
+	}
+	abc1, _ := Add(ab, c)
+	bc, _ := Add(b, c)
+	abc2, _ := Add(a, bc)
+	if !Equal(abc1, abc2, 1e-12) {
+		t.Fatal("(A+B)+C != A+(B+C)")
+	}
+}

@@ -1,0 +1,166 @@
+// Package qr implements QR decomposition by the modified Gram-Schmidt
+// process and by Householder reflections, and matrix inversion via
+// A^-1 = R^-1 Q^T — the Section 2 comparator the paper rejects for
+// MapReduce because each of the n orthogonalization steps depends on all
+// previous ones.
+package qr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/lu"
+	"repro/internal/matrix"
+)
+
+// ErrSingular is returned when the input is rank deficient.
+var ErrSingular = errors.New("qr: matrix is singular")
+
+// ErrNotSquare is returned for non-square inputs where squareness is
+// required (inversion).
+var ErrNotSquare = errors.New("qr: matrix is not square")
+
+const rankTol = 1e-12
+
+// Factorization holds A = Q R with Q orthogonal (m x m) and R upper
+// triangular (m x n), computed for m >= n.
+type Factorization struct {
+	Q *matrix.Dense
+	R *matrix.Dense
+}
+
+// GramSchmidt computes a reduced QR factorization of a (m x n, m >= n)
+// using the modified Gram-Schmidt process described in Section 2: a
+// sequence of n vectors, each orthogonalized against all previous ones.
+// Q is m x n with orthonormal columns and R is n x n upper triangular.
+func GramSchmidt(a *matrix.Dense) (*Factorization, error) {
+	m, n := a.Dims()
+	if m < n {
+		return nil, fmt.Errorf("qr: GramSchmidt needs rows >= cols, got %dx%d", m, n)
+	}
+	// Work on columns.
+	v := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		v[j] = a.Col(j)
+	}
+	q := matrix.New(m, n)
+	r := matrix.New(n, n)
+	for j := 0; j < n; j++ {
+		// Modified Gram-Schmidt: subtract projections one at a time using
+		// the already-updated vector (numerically superior to classical GS).
+		for k := 0; k < j; k++ {
+			qk := q.Col(k)
+			rkj := matrix.Dot(qk, v[j])
+			r.Set(k, j, rkj)
+			for i := range v[j] {
+				v[j][i] -= rkj * qk[i]
+			}
+		}
+		norm := matrix.VecNorm2(v[j])
+		scale := math.Abs(r.At(0, 0))
+		if j == 0 {
+			scale = 1
+		}
+		if norm < rankTol*(1+scale) {
+			return nil, fmt.Errorf("qr: column %d linearly dependent: %w", j, ErrSingular)
+		}
+		r.Set(j, j, norm)
+		for i := 0; i < m; i++ {
+			q.Set(i, j, v[j][i]/norm)
+		}
+	}
+	return &Factorization{Q: q, R: r}, nil
+}
+
+// Householder computes a full QR factorization of a square matrix using
+// Householder reflections; it is better conditioned than Gram-Schmidt and
+// is used as the package's default inversion path.
+func Householder(a *matrix.Dense) (*Factorization, error) {
+	if !a.IsSquare() {
+		return nil, fmt.Errorf("qr: Householder %dx%d: %w", a.Rows, a.Cols, ErrNotSquare)
+	}
+	n := a.Rows
+	r := a.Clone()
+	q := matrix.Identity(n)
+	for k := 0; k < n-1; k++ {
+		// Build the reflector for column k.
+		var normx float64
+		for i := k; i < n; i++ {
+			normx += r.At(i, k) * r.At(i, k)
+		}
+		normx = math.Sqrt(normx)
+		if normx == 0 {
+			continue
+		}
+		alpha := -math.Copysign(normx, r.At(k, k))
+		v := make([]float64, n)
+		v[k] = r.At(k, k) - alpha
+		for i := k + 1; i < n; i++ {
+			v[i] = r.At(i, k)
+		}
+		vnorm2 := matrix.Dot(v, v)
+		if vnorm2 == 0 {
+			continue
+		}
+		// Apply H = I - 2 v v^T / (v^T v) to R (left) and accumulate into Q.
+		applyReflector(r, v, vnorm2, k)
+		applyReflectorRight(q, v, vnorm2, k)
+	}
+	return &Factorization{Q: q, R: r}, nil
+}
+
+// applyReflector updates R <- H R for H = I - 2vv^T/|v|^2, touching rows k..n-1.
+func applyReflector(r *matrix.Dense, v []float64, vnorm2 float64, k int) {
+	n := r.Rows
+	for j := 0; j < r.Cols; j++ {
+		var s float64
+		for i := k; i < n; i++ {
+			s += v[i] * r.At(i, j)
+		}
+		s = 2 * s / vnorm2
+		for i := k; i < n; i++ {
+			r.Set(i, j, r.At(i, j)-s*v[i])
+		}
+	}
+}
+
+// applyReflectorRight updates Q <- Q H, touching columns k..n-1.
+func applyReflectorRight(q *matrix.Dense, v []float64, vnorm2 float64, k int) {
+	n := q.Rows
+	for i := 0; i < n; i++ {
+		row := q.Row(i)
+		var s float64
+		for j := k; j < n; j++ {
+			s += row[j] * v[j]
+		}
+		s = 2 * s / vnorm2
+		for j := k; j < n; j++ {
+			row[j] -= s * v[j]
+		}
+	}
+}
+
+// Invert computes A^-1 = R^-1 Q^T from a Householder QR factorization.
+func Invert(a *matrix.Dense) (*matrix.Dense, error) {
+	f, err := Householder(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Rows
+	for i := 0; i < n; i++ {
+		if math.Abs(f.R.At(i, i)) < rankTol*(1+matrix.MaxAbs(a)) {
+			return nil, fmt.Errorf("qr: R[%d][%d] ~ 0: %w", i, i, ErrSingular)
+		}
+	}
+	rinv, err := lu.UpperInverse(f.R)
+	if err != nil {
+		return nil, fmt.Errorf("qr: %w", err)
+	}
+	return matrix.Mul(rinv, f.Q.Transpose())
+}
+
+// SequentialSteps returns the number of dependent vector steps for an
+// order-n Gram-Schmidt QR: each of the n columns depends on all previous
+// columns (Section 2's argument against a MapReduce port).
+func SequentialSteps(n int) int { return n }

@@ -1,0 +1,144 @@
+package qr
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lu"
+	"repro/internal/matrix"
+	"repro/internal/workload"
+)
+
+func orthonormalColumns(t *testing.T, q *matrix.Dense, tol float64) {
+	t.Helper()
+	qtq, err := matrix.Mul(q.Transpose(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(qtq, matrix.Identity(q.Cols)); d > tol {
+		t.Fatalf("Q^T Q deviates from I by %g", d)
+	}
+}
+
+func upperTriangular(t *testing.T, r *matrix.Dense, tol float64) {
+	t.Helper()
+	for i := 1; i < r.Rows; i++ {
+		for j := 0; j < i && j < r.Cols; j++ {
+			if math.Abs(r.At(i, j)) > tol {
+				t.Fatalf("R[%d][%d] = %g below diagonal", i, j, r.At(i, j))
+			}
+		}
+	}
+}
+
+func TestGramSchmidt(t *testing.T) {
+	a := workload.Random(12, 41)
+	f, err := GramSchmidt(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orthonormalColumns(t, f.Q, 1e-10)
+	upperTriangular(t, f.R, 0)
+	qr, err := matrix.Mul(f.Q, f.R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(qr, a); d > 1e-10 {
+		t.Fatalf("QR != A by %g", d)
+	}
+}
+
+func TestGramSchmidtRectangular(t *testing.T) {
+	a := workload.RandomRect(10, 4, 42)
+	f, err := GramSchmidt(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orthonormalColumns(t, f.Q, 1e-10)
+	qr, _ := matrix.Mul(f.Q, f.R)
+	if d := matrix.MaxAbsDiff(qr, a); d > 1e-10 {
+		t.Fatalf("QR != A by %g", d)
+	}
+	if _, err := GramSchmidt(workload.RandomRect(3, 5, 1)); err == nil {
+		t.Fatal("wide matrix accepted")
+	}
+}
+
+func TestGramSchmidtSingular(t *testing.T) {
+	a := matrix.FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := GramSchmidt(a); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHouseholder(t *testing.T) {
+	a := workload.Random(15, 43)
+	f, err := Householder(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orthonormalColumns(t, f.Q, 1e-12)
+	upperTriangular(t, f.R, 1e-12)
+	qr, _ := matrix.Mul(f.Q, f.R)
+	if d := matrix.MaxAbsDiff(qr, a); d > 1e-12 {
+		t.Fatalf("QR != A by %g", d)
+	}
+}
+
+func TestHouseholderNotSquare(t *testing.T) {
+	if _, err := Householder(matrix.New(3, 4)); !errors.Is(err, ErrNotSquare) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInvertResidualAndAgreement(t *testing.T) {
+	a := workload.Random(20, 44)
+	inv, err := Invert(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := matrix.IdentityResidual(a, inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res > 1e-9 {
+		t.Fatalf("residual %g", res)
+	}
+	viaLU, err := lu.Invert(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(inv, viaLU); d > 1e-8 {
+		t.Fatalf("QR and LU inverses differ by %g", d)
+	}
+}
+
+func TestInvertSingular(t *testing.T) {
+	if _, err := Invert(matrix.New(4, 4)); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSequentialSteps(t *testing.T) {
+	if SequentialSteps(64) != 64 {
+		t.Fatalf("steps = %d", SequentialSteps(64))
+	}
+}
+
+func TestQuickHouseholderReconstructs(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%12) + 1
+		a := workload.DiagonallyDominant(n, seed)
+		fac, err := Householder(a)
+		if err != nil {
+			return false
+		}
+		qr, err := matrix.Mul(fac.Q, fac.R)
+		return err == nil && matrix.MaxAbsDiff(qr, a) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

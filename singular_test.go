@@ -1,0 +1,59 @@
+package mrinverse
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// blockSingularButInvertible builds an invertible matrix whose leading
+// diagonal block is singular — the block-local-pivoting failure case.
+func blockSingularButInvertible(n, nb int) *Matrix {
+	a := NewMatrix(n, n)
+	// Leading nb x nb block all zero; off-diagonal blocks are identities,
+	// giving an anti-block-diagonal permutation-like matrix (invertible).
+	for i := 0; i < n; i++ {
+		j := (i + nb) % n
+		a.Set(i, j, 1)
+	}
+	return a
+}
+
+func TestSingularBlockTypedError(t *testing.T) {
+	n, nb := 32, 8
+	a := blockSingularButInvertible(n, nb)
+	// Sanity: the matrix itself is invertible.
+	if _, err := InvertLocal(a); err != nil {
+		t.Fatalf("input unexpectedly singular: %v", err)
+	}
+	opts := DefaultOptions(2)
+	opts.NB = nb
+	_, _, err := Invert(a, opts)
+	if !errors.Is(err, core.ErrSingularBlock) {
+		t.Fatalf("err = %v, want ErrSingularBlock", err)
+	}
+}
+
+func TestInvertWithFallbackOnSingularBlock(t *testing.T) {
+	n := 32
+	a := blockSingularButInvertible(n, 8)
+	opts := DefaultOptions(2)
+	opts.NB = 8
+	inv, fellBack, err := invertWithFallback(a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fellBack {
+		t.Fatal("fallback did not trigger")
+	}
+	if r := Residual(a, inv); r > 1e-12 {
+		t.Fatalf("residual %g after fallback", r)
+	}
+	// A well-behaved input must not fall back.
+	good := DiagonallyDominant(32, 5)
+	_, fellBack, err = invertWithFallback(good, opts)
+	if err != nil || fellBack {
+		t.Fatalf("unexpected fallback (%v) or error (%v)", fellBack, err)
+	}
+}
