@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments examples fmt vet clean
+.PHONY: all build test race cover bench experiments examples trace fmt vet clean
 
 all: build test
 
@@ -36,6 +36,15 @@ examples:
 	$(GO) run repro/examples/tomography
 	$(GO) run repro/examples/adaptive
 	$(GO) run repro/examples/faulttolerance
+	$(GO) run repro/examples/observability -o trace.json
+
+# Capture a Chrome trace of one traced inversion (internal/obs): generate
+# a matrix, invert it with -trace, and leave trace.json for
+# chrome://tracing or ui.perfetto.dev.
+trace:
+	$(GO) run repro/cmd/matgen -n 256 -o /tmp/matinv-trace-input.bin
+	$(GO) run repro/cmd/matinv -in /tmp/matinv-trace-input.bin -nodes 8 -nb 64 -trace trace.json -metrics
+	@echo "trace written to trace.json — open it in chrome://tracing or ui.perfetto.dev"
 
 fmt:
 	gofmt -w .

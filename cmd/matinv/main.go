@@ -22,6 +22,7 @@ import (
 	mrinverse "repro"
 	"repro/internal/core"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/scalapack"
 )
 
@@ -69,6 +70,8 @@ func main() {
 	stream := flag.Bool("stream", false, "stream factors in row bands during inversion (bounded task memory)")
 	showLayout := flag.Bool("show-layout", false, "print the Figure 4 HDFS directory tree after a mapreduce run")
 	showJobs := flag.Bool("show-jobs", false, "print the per-job breakdown after a mapreduce run")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the run (view in chrome://tracing or ui.perfetto.dev)")
+	showMetrics := flag.Bool("metrics", false, "print the metrics registry after the run")
 	flag.Parse()
 
 	if *in == "" {
@@ -81,6 +84,15 @@ func main() {
 		log.Fatalf("read %s: %v", *in, err)
 	}
 	fmt.Printf("read %dx%d matrix from %s\n", a.Rows, a.Cols, *in)
+
+	var tracer *obs.Tracer
+	var metrics *obs.Registry
+	if *traceOut != "" {
+		tracer = obs.New()
+	}
+	if *showMetrics {
+		metrics = obs.NewRegistry()
+	}
 
 	var inv *matrix.Dense
 	start := time.Now()
@@ -96,6 +108,8 @@ func main() {
 		if perr != nil {
 			log.Fatal(perr)
 		}
+		p.Tracer = tracer
+		p.Metrics = metrics
 		var rep *mrinverse.Report
 		inv, rep, err = p.Invert(a)
 		if err == nil {
@@ -117,7 +131,7 @@ func main() {
 		inv, err = mrinverse.InvertLocal(a)
 	case "scalapack2d":
 		var st *scalapack.Stats
-		inv, st, err = scalapack.Invert2D(a, scalapack.Grid2D{Procs: *nodes, BlockSize: *blockSize})
+		inv, st, err = scalapack.Invert2D(a, scalapack.Grid2D{Procs: *nodes, BlockSize: *blockSize, Tracer: tracer, Metrics: metrics})
 		if err == nil {
 			fmt.Printf("MPI 2-D grid: %d messages, %d bytes transferred\n", st.Messages, st.BytesTransferred)
 		}
@@ -134,7 +148,7 @@ func main() {
 		}
 	case "scalapack":
 		var st *mrinverse.ScaLAPACKStats
-		inv, st, err = mrinverse.InvertScaLAPACK(a, mrinverse.ScaLAPACKConfig{Procs: *nodes, BlockSize: *blockSize})
+		inv, st, err = mrinverse.InvertScaLAPACK(a, mrinverse.ScaLAPACKConfig{Procs: *nodes, BlockSize: *blockSize, Tracer: tracer, Metrics: metrics})
 		if err == nil {
 			fmt.Printf("MPI: %d messages, %d bytes transferred, %d panel broadcasts\n",
 				st.Messages, st.BytesTransferred, st.PanelBroadcasts)
@@ -147,6 +161,29 @@ func main() {
 	}
 	fmt.Printf("inverted in %v; residual max|I-AA⁻¹| = %.3g\n",
 		time.Since(start).Round(time.Millisecond), mrinverse.Residual(a, inv))
+
+	if tracer != nil {
+		spans := tracer.Snapshot()
+		f, ferr := os.Create(*traceOut)
+		if ferr != nil {
+			log.Fatalf("create %s: %v", *traceOut, ferr)
+		}
+		if werr := obs.WriteChromeTrace(f, spans); werr != nil {
+			log.Fatalf("write trace: %v", werr)
+		}
+		if cerr := f.Close(); cerr != nil {
+			log.Fatalf("close %s: %v", *traceOut, cerr)
+		}
+		fmt.Printf("wrote %d spans to %s (open in chrome://tracing or ui.perfetto.dev)\n", len(spans), *traceOut)
+		if root := obs.Root(spans); root != nil {
+			if cp, cerr := obs.ComputeCriticalPath(spans, root.ID); cerr == nil {
+				fmt.Print(cp.String())
+			}
+		}
+	}
+	if metrics != nil {
+		fmt.Print(metrics.String())
+	}
 
 	if *out != "" {
 		if err := mrinverse.WriteMatrixFile(*out, inv); err != nil {

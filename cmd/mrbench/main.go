@@ -7,11 +7,14 @@
 //	mrbench -exp all
 //	mrbench -exp fig6 -measure
 //	mrbench -exp sec74
+//	mrbench -exp fig6 -json            # machine-readable output
+//	mrbench -trace run.json -metrics   # instrumented run at -n/-nb
 //
 // Experiments: table1 table2 table3 fig6 fig7 fig8 sec74 acc all
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -20,15 +23,31 @@ import (
 
 	mrinverse "repro"
 	"repro/internal/costmodel"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
+
+var allExperiments = []string{"table1", "table2", "table3", "fig6", "fig7", "fig8", "sec74", "acc", "nb", "engines", "spark"}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id: table1|table2|table3|fig6|fig7|fig8|sec74|acc|nb|engines|spark|all")
 	measure := flag.Bool("measure", false, "also run real reduced-scale measurements")
 	n := flag.Int("n", 384, "matrix order for -measure runs")
 	nb := flag.Int("nb", 64, "bound value for -measure runs")
+	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON object per experiment instead of text")
+	traceOut := flag.String("trace", "", "run one instrumented inversion at -n/-nb and write a Chrome trace-event JSON file")
+	showMetrics := flag.Bool("metrics", false, "run one instrumented inversion at -n/-nb and print the metrics registry")
 	flag.Parse()
+
+	if *traceOut != "" || *showMetrics {
+		observedRun(*traceOut, *showMetrics, *n, *nb)
+		return
+	}
+
+	if *jsonOut {
+		emitJSON(*exp, *measure, *n, *nb)
+		return
+	}
 
 	run := map[string]func(bool, int, int){
 		"table1": table1, "table2": table2, "table3": table3,
@@ -37,7 +56,7 @@ func main() {
 		"nb": nbTune, "engines": engines, "spark": sparkExp,
 	}
 	if *exp == "all" {
-		for _, id := range []string{"table1", "table2", "table3", "fig6", "fig7", "fig8", "sec74", "acc", "nb", "engines", "spark"} {
+		for _, id := range allExperiments {
 			run[id](*measure, *n, *nb)
 			fmt.Println()
 		}
@@ -49,6 +68,162 @@ func main() {
 		os.Exit(2)
 	}
 	f(*measure, *n, *nb)
+}
+
+// observedRun performs one traced + metered pipeline inversion and writes
+// the requested artifacts.
+func observedRun(traceOut string, showMetrics bool, n, nb int) {
+	var tracer *obs.Tracer
+	var metrics *obs.Registry
+	if traceOut != "" {
+		tracer = obs.New()
+	}
+	if showMetrics {
+		metrics = obs.NewRegistry()
+	}
+	a := mrinverse.Random(n, 1)
+	opts := mrinverse.DefaultOptions(8)
+	opts.NB = nb
+	inv, rep, err := mrinverse.InvertObserved(a, opts, tracer, metrics)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inverted n=%d nb=%d in %v over %d jobs; residual %.2g\n",
+		n, nb, rep.Elapsed.Round(time.Millisecond), rep.JobsRun, mrinverse.Residual(a, inv))
+	if tracer != nil {
+		spans := tracer.Snapshot()
+		f, ferr := os.Create(traceOut)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		if werr := obs.WriteChromeTrace(f, spans); werr != nil {
+			log.Fatal(werr)
+		}
+		if cerr := f.Close(); cerr != nil {
+			log.Fatal(cerr)
+		}
+		fmt.Printf("wrote %d spans to %s (open in chrome://tracing or ui.perfetto.dev)\n", len(spans), traceOut)
+		fmt.Print(obs.SummarizeString(spans))
+		if root := obs.Root(spans); root != nil {
+			if cp, cerr := obs.ComputeCriticalPath(spans, root.ID); cerr == nil {
+				fmt.Print(cp.String())
+			}
+		}
+	}
+	if metrics != nil {
+		fmt.Print(metrics.String())
+	}
+}
+
+// emitJSON writes one JSON object per experiment id to stdout — the
+// machine-readable twin of the text reports, built from the cost model's
+// structured series (and real runs for the execution-backed experiments).
+func emitJSON(exp string, measure bool, n, nb int) {
+	ids := []string{exp}
+	if exp == "all" {
+		ids = allExperiments
+	}
+	enc := json.NewEncoder(os.Stdout)
+	for _, id := range ids {
+		payload, err := jsonPayload(id, measure, n, nb)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := enc.Encode(map[string]any{"experiment": id, "data": payload}); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func jsonPayload(id string, measure bool, n, nb int) (any, error) {
+	_, _, _ = measure, n, nb // JSON payloads use the fixed paper-scale configs
+	switch id {
+	case "table1":
+		return costmodel.Table1Rows(20480, 64), nil
+	case "table2":
+		return costmodel.Table2Rows(20480, 64), nil
+	case "table3":
+		return costmodel.Table3Rows(), nil
+	case "fig6":
+		return costmodel.Fig6(), nil
+	case "fig7":
+		return costmodel.Fig7(), nil
+	case "fig8":
+		return costmodel.Fig8(), nil
+	case "sec74":
+		return costmodel.Sec74(), nil
+	case "acc":
+		type accRow struct {
+			N        int     `json:"n"`
+			Residual float64 `json:"residual"`
+			Pass     bool    `json:"pass"`
+		}
+		var rows []accRow
+		for _, order := range []int{64, 128, 256} {
+			a := mrinverse.Random(order, int64(order))
+			opts := mrinverse.DefaultOptions(4)
+			opts.NB = maxInt(16, order/8)
+			inv, _, err := mrinverse.Invert(a, opts)
+			if err != nil {
+				return nil, fmt.Errorf("acc n=%d: %w", order, err)
+			}
+			res := mrinverse.Residual(a, inv)
+			rows = append(rows, accRow{N: order, Residual: res, Pass: res <= 1e-5})
+		}
+		return rows, nil
+	case "nb":
+		type nbRow struct {
+			NB              int     `json:"nb"`
+			PipelineSeconds float64 `json:"pipeline_seconds"`
+			Jobs            int     `json:"jobs"`
+		}
+		c := costmodel.NewCluster(costmodel.Medium, 64)
+		order := 102400
+		var rows []nbRow
+		for cand := 400; cand <= 25600; cand *= 2 {
+			t := costmodel.OursTime(c, order, cand, costmodel.AllOpts)
+			rows = append(rows, nbRow{NB: cand, PipelineSeconds: t.Seconds(), Jobs: mrinverse.PipelineJobs(order, cand)})
+		}
+		return map[string]any{"rows": rows, "optimal_nb": costmodel.OptimalNB(c, order)}, nil
+	case "engines":
+		type engRow struct {
+			Order  int    `json:"order"`
+			Engine string `json:"engine"`
+			Reason string `json:"reason"`
+		}
+		var rows []engRow
+		c := costmodel.NewCluster(costmodel.Medium, 64)
+		for _, order := range []int{800, 20480, 102400} {
+			choice := costmodel.ChooseEngine(c, order, workload.PaperNB)
+			rows = append(rows, engRow{Order: order, Engine: string(choice.Engine), Reason: choice.Reason})
+		}
+		return rows, nil
+	case "spark":
+		a := mrinverse.Random(256, 6)
+		start := time.Now()
+		sparkInv, err := mrinverse.InvertSpark(a, 4, 64)
+		if err != nil {
+			return nil, err
+		}
+		sparkSec := time.Since(start).Seconds()
+		opts := mrinverse.DefaultOptions(4)
+		opts.NB = 64
+		start = time.Now()
+		_, rep, err := mrinverse.Invert(a, opts)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{
+			"n":                    256,
+			"spark_seconds":        sparkSec,
+			"mapreduce_seconds":    time.Since(start).Seconds(),
+			"mapreduce_bytes_read": rep.FS.BytesRead,
+			"spark_residual":       mrinverse.Residual(a, sparkInv),
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown experiment %q", id)
+	}
 }
 
 func header(s string) { fmt.Printf("=== %s ===\n", s) }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/lu"
 	"repro/internal/mapreduce"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 )
 
 // Block LU decomposition as a pipeline of MapReduce jobs (Section 4.2 and
@@ -70,6 +71,9 @@ func (st *pipelineState) computeLU(node *nodeInput) (*luHandle, error) {
 // masterLU decomposes a leaf submatrix on the master node (Algorithm 2
 // lines 2-3) and writes its l/u/p files.
 func (st *pipelineState) masterLU(node *nodeInput) (*luHandle, error) {
+	op := st.span.Child("master-lu:"+node.dir, obs.KindOp)
+	defer op.Finish()
+	op.SetAttr("order", int64(node.n))
 	ref := node.leafRef()
 	a, err := readAll(masterReader(st.fs), ref)
 	if err != nil {
@@ -118,6 +122,8 @@ func (st *pipelineState) writeLeaf(dir string, l, u *matrix.Dense, p matrix.Perm
 // rewrites them as single files — the serial master-side work the
 // Section 6.1 optimization eliminates.
 func (st *pipelineState) combineLevel(dir string, hd *luHandle) (*luHandle, error) {
+	op := st.span.Child("combine:"+dir, obs.KindOp)
+	defer op.Finish()
 	rd := masterReader(st.fs)
 	l, err := hd.readL(rd)
 	if err != nil {
@@ -231,6 +237,7 @@ func (st *pipelineState) runLevelJob(node *nodeInput, h int, h1 *luHandle, a2ref
 			return nil
 		},
 	}
+	job.TraceParent = st.span
 	jr, err := st.cluster.Run(job)
 	if err != nil {
 		return nil, err

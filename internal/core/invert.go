@@ -7,6 +7,7 @@ import (
 	"repro/internal/lu"
 	"repro/internal/mapreduce"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 )
 
 // The final MapReduce job (Section 5.4): mappers invert the triangular
@@ -69,6 +70,7 @@ func (st *pipelineState) runInvertJob(hd *luHandle) (*matrix.Dense, error) {
 			return multiplyInverseBlock(nodeReader{fs: ctx.FS, node: ctx.Node}, st, root, r, mhalf, f1, f2, n, p)
 		},
 	}
+	job.TraceParent = st.span
 	jr, err := st.cluster.Run(job)
 	if err != nil {
 		return nil, err
@@ -76,6 +78,8 @@ func (st *pipelineState) runInvertJob(hd *luHandle) (*matrix.Dense, error) {
 	st.recordJob(jr)
 
 	// Assemble A^-1 from the reducers' indexed output blocks.
+	aspan := st.span.Child("assemble-output", obs.KindOp)
+	defer aspan.Finish()
 	out := matrix.New(n, n)
 	rd := masterReader(st.fs)
 	for r := 0; r < m0; r++ {

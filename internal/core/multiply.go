@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/mapreduce"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 )
 
 // Standalone MapReduce jobs built from the pipeline's machinery:
@@ -26,6 +27,9 @@ func (p *Pipeline) Multiply(a, b *matrix.Dense) (*matrix.Dense, error) {
 	if a.Cols != b.Rows {
 		return nil, fmt.Errorf("core: Multiply: %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
+	p.attachObs()
+	span := p.Tracer.StartSpan("pipeline.multiply", obs.KindPipeline)
+	defer span.Finish()
 	m0 := p.Opts.Nodes
 	f1, f2 := FactorPair(m0)
 	if !p.Opts.BlockWrap {
@@ -96,6 +100,7 @@ func (p *Pipeline) Multiply(a, b *matrix.Dense) (*matrix.Dense, error) {
 			return ctx.FS.WriteMatrix(fmt.Sprintf("%s/C.%d", root, r), blk)
 		},
 	}
+	job.TraceParent = span
 	if _, err := p.Cluster.Run(job); err != nil {
 		return nil, err
 	}
@@ -125,12 +130,17 @@ func (p *Pipeline) Solve(a, b *matrix.Dense) (*matrix.Dense, error) {
 	if !a.IsSquare() || a.Rows != b.Rows {
 		return nil, fmt.Errorf("core: Solve: A is %dx%d, B is %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
+	p.attachObs()
 	st := &pipelineState{opts: p.Opts, fs: p.FS, cluster: p.Cluster}
+	st.span = p.Tracer.StartSpan("pipeline.solve", obs.KindPipeline)
+	defer st.span.Finish()
 	n := a.Rows
 	if err := writeInputBands(p.FS, p.Opts, a, p.Opts.Nodes); err != nil {
 		return nil, err
 	}
-	pj, err := p.Cluster.Run(partitionJob(p.Opts, n, p.FS))
+	pjob := partitionJob(p.Opts, n, p.FS)
+	pjob.TraceParent = st.span
+	pj, err := p.Cluster.Run(pjob)
 	if err != nil {
 		return nil, err
 	}
@@ -203,6 +213,7 @@ func (p *Pipeline) Solve(a, b *matrix.Dense) (*matrix.Dense, error) {
 			return ctx.FS.WriteMatrix(fmt.Sprintf("%s/X.%d", root, j), x)
 		},
 	}
+	job.TraceParent = st.span
 	jr, err := p.Cluster.Run(job)
 	if err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ import (
 	"repro/internal/dfs"
 	"repro/internal/mapreduce"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 )
 
 // Pipeline is the paper's end-to-end matrix inverter: it owns a simulated
@@ -17,6 +18,33 @@ type Pipeline struct {
 	Opts    Options
 	FS      *dfs.FS
 	Cluster *mapreduce.Cluster
+	// Tracer, when non-nil, records a hierarchical span tree for each run:
+	// one pipeline root, one span per MapReduce job with byte attribution,
+	// and op spans for master-side work. Nil costs nothing.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, receives DFS and engine counters.
+	Metrics *obs.Registry
+}
+
+// attachObs wires the pipeline's observability hooks into the layers it
+// owns. Called at the top of each run entry point; idempotent.
+func (p *Pipeline) attachObs() {
+	if p.Tracer != nil {
+		p.Cluster.Tracer = p.Tracer
+	}
+	if p.Metrics != nil {
+		p.Cluster.Metrics = p.Metrics
+		p.FS.SetMetrics(p.Metrics)
+	}
+}
+
+// finishSpanErr closes a span that ends in failure.
+func finishSpanErr(span *obs.Span, err error) {
+	if span == nil {
+		return
+	}
+	span.SetLabel("error", err.Error())
+	span.Finish()
 }
 
 // JobSummary is one executed MapReduce job's line in the report.
@@ -49,6 +77,7 @@ type Report struct {
 	FS             dfs.Stats        // byte accounting deltas for this run
 	Elapsed        time.Duration    // wall-clock for the whole pipeline
 	JobElapsed     time.Duration    // sum of per-job recorded times
+	Trace          *obs.Span        // root span of the run (nil when not traced)
 }
 
 // pipelineState threads the shared pieces through the recursion.
@@ -56,6 +85,7 @@ type pipelineState struct {
 	opts    Options
 	fs      *dfs.FS
 	cluster *mapreduce.Cluster
+	span    *obs.Span // run root span; nil when tracing is off
 
 	jobsRun              int
 	jobLog               []JobSummary
@@ -124,42 +154,80 @@ func (p *Pipeline) Invert(a *matrix.Dense) (*matrix.Dense, *Report, error) {
 		return matrix.New(0, 0), &Report{}, nil
 	}
 	start := time.Now()
+	p.attachObs()
 	st := &pipelineState{opts: p.Opts, fs: p.FS, cluster: p.Cluster}
 	n := a.Rows
 	statsBefore := p.FS.Stats()
+	var ioBefore []dfs.NodeIO
+	st.span = p.Tracer.StartSpan("pipeline.invert", obs.KindPipeline)
+	if st.span != nil {
+		st.span.SetAttr("order", int64(n))
+		st.span.SetAttr("nb", int64(p.Opts.NB))
+		st.span.SetAttr("nodes", int64(p.Opts.Nodes))
+		st.span.SetAttr("depth", int64(Depth(n, p.Opts.NB)))
+		ioBefore = p.FS.PerNodeIO()
+	}
 
 	// Stage 0 (master): store the input and the Section 5.1 control files.
+	wspan := st.span.Child("write-input", obs.KindOp)
 	if err := writeInputBands(p.FS, p.Opts, a, p.Opts.Nodes); err != nil {
+		finishSpanErr(st.span, err)
 		return nil, nil, err
 	}
 	for j := 0; j < p.Opts.Nodes; j++ {
 		p.FS.Write(controlFilePath(p.Opts.Root, j), []byte(fmt.Sprintf("%d", j)))
 	}
+	wspan.Finish()
 
 	// Stage 1: partition job (map-only).
-	pj, err := p.Cluster.Run(partitionJob(p.Opts, n, p.FS))
+	pjob := partitionJob(p.Opts, n, p.FS)
+	pjob.TraceParent = st.span
+	pj, err := p.Cluster.Run(pjob)
 	if err != nil {
+		finishSpanErr(st.span, err)
 		return nil, nil, err
 	}
 	st.recordJob(pj)
 	tree, err := buildInputTree(p.Opts, n, pj.Output)
 	if err != nil {
+		finishSpanErr(st.span, err)
 		return nil, nil, err
 	}
 
 	// Stage 2: block LU decomposition (2^d - 1 jobs).
 	hd, err := st.computeLU(tree)
 	if err != nil {
+		finishSpanErr(st.span, err)
 		return nil, nil, err
 	}
 
 	// Stage 3: triangular inversion and final output job.
 	inv, err := st.runInvertJob(hd)
 	if err != nil {
+		finishSpanErr(st.span, err)
 		return nil, nil, err
 	}
 
 	after := p.FS.Stats()
+	if st.span != nil {
+		// Root-span byte attrs mirror Report.FS exactly: the trace and the
+		// report agree on a run's byte accounting by construction.
+		st.span.SetAttr("jobs", int64(st.jobsRun))
+		st.span.SetAttr("dfs.bytes_read", after.BytesRead-statsBefore.BytesRead)
+		st.span.SetAttr("dfs.bytes_written", after.BytesWritten-statsBefore.BytesWritten)
+		st.span.SetAttr("dfs.bytes_transferred", after.BytesTransferred-statsBefore.BytesTransferred)
+		st.span.SetAttr("dfs.files_created", after.FilesCreated-statsBefore.FilesCreated)
+		for i, nio := range p.FS.PerNodeIO() {
+			r, w := nio.BytesRead, nio.BytesWritten
+			if i < len(ioBefore) {
+				r -= ioBefore[i].BytesRead
+				w -= ioBefore[i].BytesWritten
+			}
+			st.span.SetAttr(fmt.Sprintf("dfs.node%d.bytes_read", nio.Node), r)
+			st.span.SetAttr(fmt.Sprintf("dfs.node%d.bytes_written", nio.Node), w)
+		}
+		st.span.Finish()
+	}
 	rep := &Report{
 		Order:          n,
 		NB:             p.Opts.NB,
@@ -178,6 +246,7 @@ func (p *Pipeline) Invert(a *matrix.Dense) (*matrix.Dense, *Report, error) {
 		LFactorFiles:   hd.fileCount(),
 		Elapsed:        time.Since(start),
 		JobElapsed:     st.jobElapsed,
+		Trace:          st.span,
 		FS: dfs.Stats{
 			BytesWritten:     after.BytesWritten - statsBefore.BytesWritten,
 			BytesReplicated:  after.BytesReplicated - statsBefore.BytesReplicated,
@@ -217,12 +286,17 @@ func (p *Pipeline) Decompose(a *matrix.Dense) (perm matrix.Perm, l, u *matrix.De
 	if !a.IsSquare() {
 		return nil, nil, nil, fmt.Errorf("core: Decompose: input is %dx%d, not square", a.Rows, a.Cols)
 	}
+	p.attachObs()
 	st := &pipelineState{opts: p.Opts, fs: p.FS, cluster: p.Cluster}
+	st.span = p.Tracer.StartSpan("pipeline.decompose", obs.KindPipeline)
+	defer st.span.Finish()
 	n := a.Rows
 	if err := writeInputBands(p.FS, p.Opts, a, p.Opts.Nodes); err != nil {
 		return nil, nil, nil, err
 	}
-	pj, err := p.Cluster.Run(partitionJob(p.Opts, n, p.FS))
+	pjob := partitionJob(p.Opts, n, p.FS)
+	pjob.TraceParent = st.span
+	pj, err := p.Cluster.Run(pjob)
 	if err != nil {
 		return nil, nil, nil, err
 	}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// tracedInvert runs the pipeline with a tracer and metrics attached.
+func tracedInvert(t *testing.T, n, nb, nodes int) (*obs.Tracer, *obs.Registry, *Report) {
+	t.Helper()
+	a := workload.Random(n, 42)
+	p, err := NewPipeline(Options{NB: nb, Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Tracer = obs.New()
+	p.Metrics = obs.NewRegistry()
+	_, rep, err := p.Invert(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Tracer, p.Metrics, rep
+}
+
+// One KindJob span per executed MapReduce job — the acceptance criterion
+// tying the trace to the Figure 2 pipeline shape.
+func TestTraceOneSpanPerJob(t *testing.T) {
+	tr, _, rep := tracedInvert(t, 48, 12, 4)
+	spans := tr.Snapshot()
+	var jobs int
+	for _, s := range spans {
+		if s.Kind == obs.KindJob {
+			jobs++
+			if s.End.IsZero() {
+				t.Errorf("job span %q unfinished", s.Name)
+			}
+		}
+	}
+	if jobs != rep.JobsRun {
+		t.Fatalf("got %d job spans, report says %d jobs ran", jobs, rep.JobsRun)
+	}
+	if rep.Trace == nil {
+		t.Fatal("Report.Trace is nil on a traced run")
+	}
+}
+
+// The root span's byte attrs must equal the Report's DFS deltas exactly,
+// and summing the per-job deltas must reproduce the run totals.
+func TestTraceBytesMatchDFSCounters(t *testing.T) {
+	tr, _, rep := tracedInvert(t, 48, 12, 4)
+	spans := tr.Snapshot()
+	root := obs.Root(spans)
+	if root == nil {
+		t.Fatal("no root span")
+	}
+	want := map[string]int64{
+		"dfs.bytes_read":        rep.FS.BytesRead,
+		"dfs.bytes_written":     rep.FS.BytesWritten,
+		"dfs.bytes_transferred": rep.FS.BytesTransferred,
+		"dfs.files_created":     rep.FS.FilesCreated,
+		"jobs":                  int64(rep.JobsRun),
+	}
+	for k, v := range want {
+		if got := root.Attrs[k]; got != v {
+			t.Errorf("root attr %s = %d, report says %d", k, got, v)
+		}
+	}
+	// Job spans partition the run's writes: master-side writes (input
+	// bands, leaf factors, combines) account for the remainder, so the sum
+	// over job spans must not exceed the run total.
+	var jobRead, jobWritten int64
+	for _, s := range spans {
+		if s.Kind == obs.KindJob {
+			jobRead += s.Attrs["dfs.bytes_read"]
+			jobWritten += s.Attrs["dfs.bytes_written"]
+		}
+	}
+	if jobRead > rep.FS.BytesRead || jobWritten > rep.FS.BytesWritten {
+		t.Errorf("job span byte sums (%d read, %d written) exceed run totals (%d, %d)",
+			jobRead, jobWritten, rep.FS.BytesRead, rep.FS.BytesWritten)
+	}
+	if jobRead == 0 || jobWritten == 0 {
+		t.Error("job spans recorded no byte flow")
+	}
+}
+
+// The critical path over a real traced run must account for the root
+// span's wall-clock within 5% (it partitions it exactly by construction;
+// the tolerance guards the report against future drift).
+func TestTraceCriticalPathCoversWallClock(t *testing.T) {
+	tr, _, _ := tracedInvert(t, 48, 12, 4)
+	spans := tr.Snapshot()
+	root := obs.Root(spans)
+	cp, err := obs.ComputeCriticalPath(spans, root.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := root.End.Sub(root.Start)
+	diff := cp.Total - wall
+	if diff < 0 {
+		diff = -diff
+	}
+	if wall <= 0 || float64(diff) > 0.05*float64(wall) {
+		t.Fatalf("critical path total %v vs wall-clock %v (diff %v > 5%%)", cp.Total, wall, diff)
+	}
+}
+
+// The exported Chrome trace of a real run is valid JSON with one complete
+// event per finished span.
+func TestTraceChromeExportOfRealRun(t *testing.T) {
+	tr, _, _ := tracedInvert(t, 48, 12, 4)
+	spans := tr.Snapshot()
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	var complete int
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase == "X" {
+			complete++
+		}
+	}
+	// Only finished spans export; a losing speculative attempt may still be
+	// draining when the snapshot is taken.
+	var finished int
+	for _, s := range spans {
+		if !s.End.IsZero() {
+			finished++
+		}
+	}
+	if complete != finished {
+		t.Fatalf("exported %d complete events for %d finished spans", complete, finished)
+	}
+}
+
+// An untraced run records no spans anywhere and leaves Report.Trace nil —
+// the regression guard for the nil no-op path.
+func TestUntracedRunRecordsNothing(t *testing.T) {
+	a := workload.Random(48, 42)
+	p, err := NewPipeline(Options{NB: 12, Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := p.Invert(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trace != nil {
+		t.Fatal("Report.Trace non-nil on an untraced run")
+	}
+	if p.Cluster.Tracer != nil {
+		t.Fatal("cluster acquired a tracer without one being set")
+	}
+}
+
+// Metrics attached to a run mirror the report's task accounting.
+func TestMetricsMirrorReport(t *testing.T) {
+	_, reg, rep := tracedInvert(t, 48, 12, 4)
+	if got := reg.Counter("mapreduce.jobs").Value(); got != int64(rep.JobsRun) {
+		t.Errorf("mapreduce.jobs = %d, report says %d", got, rep.JobsRun)
+	}
+	if got := reg.Counter("mapreduce.map_tasks").Value(); got != int64(rep.MapTasks) {
+		t.Errorf("mapreduce.map_tasks = %d, report says %d", got, rep.MapTasks)
+	}
+	if got := reg.Counter("dfs.bytes_written").Value(); got < rep.FS.BytesWritten {
+		t.Errorf("dfs.bytes_written counter %d below report delta %d", got, rep.FS.BytesWritten)
+	}
+}

@@ -18,6 +18,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Common errors.
@@ -47,7 +49,8 @@ type file struct {
 	// never has two mappers reading or writing the same file at once.
 	readers    int
 	maxReaders int
-	writes     int // number of times this path was (re)written
+	writes     int   // number of times this path was (re)written
+	bytesRead  int64 // cumulative bytes served from this path
 }
 
 // Stats is a snapshot of the accumulated I/O accounting.
@@ -72,10 +75,90 @@ type FS struct {
 	replication int
 	nextNode    int
 	stats       Stats
+	// nodeRead[i] / nodeWritten[i] are the byte flows through datanode i:
+	// bytes read by a task running on node i, and bytes landed on node i
+	// as a replica. masterRead accounts node-less (driver) reads.
+	nodeRead    []int64
+	nodeWritten []int64
+	masterRead  int64
+	// metrics, when non-nil, mirrors the accounting into an obs registry.
+	metrics struct {
+		bytesRead, bytesWritten, bytesTransferred *obs.Counter
+		readOps, writeOps                         *obs.Counter
+	}
 	// injectReadErr, when non-nil, is consulted on every read; a non-nil
 	// return aborts the read (a transient datanode failure). Set with
 	// InjectReadErrors.
 	injectReadErr func(path string) error
+}
+
+// SetMetrics mirrors the file system's byte accounting into reg (nil
+// detaches). Counters are resolved once here so the read/write paths pay
+// no map lookups.
+func (fs *FS) SetMetrics(reg *obs.Registry) {
+	fs.mu.Lock()
+	fs.metrics.bytesRead = reg.Counter("dfs.bytes_read")
+	fs.metrics.bytesWritten = reg.Counter("dfs.bytes_written")
+	fs.metrics.bytesTransferred = reg.Counter("dfs.bytes_transferred")
+	fs.metrics.readOps = reg.Counter("dfs.read_ops")
+	fs.metrics.writeOps = reg.Counter("dfs.write_ops")
+	fs.mu.Unlock()
+}
+
+// NodeIO is one datanode's cumulative byte flow.
+type NodeIO struct {
+	Node         int
+	BytesRead    int64 // bytes read by tasks executing on this node
+	BytesWritten int64 // bytes landed on this node as a replica
+}
+
+// PerNodeIO returns the byte flow through every datanode, in node order.
+func (fs *FS) PerNodeIO() []NodeIO {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]NodeIO, fs.nodes)
+	for i := range out {
+		out[i] = NodeIO{Node: i, BytesRead: fs.nodeRead[i], BytesWritten: fs.nodeWritten[i]}
+	}
+	return out
+}
+
+// MasterBytesRead returns the bytes read without a node identity (the
+// MapReduce master / pipeline driver).
+func (fs *FS) MasterBytesRead() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.masterRead
+}
+
+// FileIO is one file's cumulative read volume.
+type FileIO struct {
+	Path      string
+	BytesRead int64
+}
+
+// HotFiles returns the k most-read files, by bytes served, descending
+// (ties broken by path). It answers "which file bounded the shuffle" the
+// way the paper's Section 6 reasons about per-file I/O.
+func (fs *FS) HotFiles(k int) []FileIO {
+	fs.mu.Lock()
+	out := make([]FileIO, 0, len(fs.files))
+	for p, f := range fs.files {
+		if f.bytesRead > 0 {
+			out = append(out, FileIO{Path: p, BytesRead: f.bytesRead})
+		}
+	}
+	fs.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].BytesRead != out[j].BytesRead {
+			return out[i].BytesRead > out[j].BytesRead
+		}
+		return out[i].Path < out[j].Path
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
 }
 
 // InjectReadErrors installs a read fault injector (nil disables). The
@@ -103,6 +186,8 @@ func New(nodes, replication int) *FS {
 		files:       make(map[string]*file),
 		nodes:       nodes,
 		replication: replication,
+		nodeRead:    make([]int64, nodes),
+		nodeWritten: make([]int64, nodes),
 	}
 }
 
@@ -142,6 +227,12 @@ func (fs *FS) Write(path string, data []byte) {
 	fs.stats.BytesWritten += int64(len(data))
 	fs.stats.BytesReplicated += int64(len(data) * len(f.replicas))
 	fs.stats.BytesTransferred += int64(len(data) * (len(f.replicas) - 1))
+	for _, r := range f.replicas {
+		fs.nodeWritten[r] += int64(len(data))
+	}
+	fs.metrics.writeOps.Add(1)
+	fs.metrics.bytesWritten.Add(int64(len(data)))
+	fs.metrics.bytesTransferred.Add(int64(len(data) * (len(f.replicas) - 1)))
 }
 
 // placeLocked chooses replica nodes for a new file round-robin.
@@ -229,6 +320,14 @@ func (fs *FS) readInternal(path string, node int) ([]byte, error) {
 	data := f.copies[good]
 	fs.stats.ReadOps++
 	fs.stats.BytesRead += int64(len(data))
+	f.bytesRead += int64(len(data))
+	fs.metrics.readOps.Add(1)
+	fs.metrics.bytesRead.Add(int64(len(data)))
+	if node >= 0 && node < len(fs.nodeRead) {
+		fs.nodeRead[node] += int64(len(data))
+	} else {
+		fs.masterRead += int64(len(data))
+	}
 	if node >= 0 {
 		local := false
 		for _, r := range f.replicas {
@@ -239,6 +338,7 @@ func (fs *FS) readInternal(path string, node int) ([]byte, error) {
 		}
 		if !local {
 			fs.stats.BytesTransferred += int64(len(data))
+			fs.metrics.bytesTransferred.Add(int64(len(data)))
 		}
 	}
 	out := append([]byte(nil), data...)
@@ -409,11 +509,15 @@ func (fs *FS) Stats() Stats {
 	return fs.stats
 }
 
-// ResetStats zeroes the accounting counters (files are kept).
+// ResetStats zeroes the accounting counters, including the per-node byte
+// flows (files are kept).
 func (fs *FS) ResetStats() {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	fs.stats = Stats{}
+	fs.nodeRead = make([]int64, fs.nodes)
+	fs.nodeWritten = make([]int64, fs.nodes)
+	fs.masterRead = 0
 }
 
 // Nodes returns the number of simulated datanodes.

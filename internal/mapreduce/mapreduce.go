@@ -22,10 +22,12 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/dfs"
+	"repro/internal/obs"
 )
 
 // ErrTooManyFailures is returned when a task exhausts its attempts.
@@ -119,6 +121,10 @@ type Job struct {
 	// so a local worker can pick it up, reproducing Hadoop's data-local
 	// task placement.
 	Prefer func(task int) []int
+	// TraceParent, when non-nil, parents this job's trace span under an
+	// enclosing span (the pipeline span). When nil, the cluster's Tracer
+	// (if any) records the job as a root span.
+	TraceParent *obs.Span
 }
 
 // JobResult reports one executed job.
@@ -167,6 +173,13 @@ type Cluster struct {
 	Speculative      bool
 	SpeculativeSlack time.Duration
 	SpeculativeRatio float64
+	// Tracer, when non-nil, records one span per job, per map/reduce
+	// phase, and per task attempt (on the executing node's track). All
+	// instrumented paths are no-ops when it is nil.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, accumulates engine counters and task/job
+	// latency histograms.
+	Metrics *obs.Registry
 
 	mu       sync.Mutex
 	jobsRun  int
@@ -205,9 +218,24 @@ func (b *emitBuffer) Emit(key string, value []byte) {
 	b.kvs = append(b.kvs, KV{Key: key, Value: v})
 }
 
+// jobSpan opens the trace span for one job: a child of the job's
+// TraceParent when set, otherwise a root span on the cluster tracer.
+// Returns nil (a no-op span) when neither is configured.
+func (c *Cluster) jobSpan(job *Job) *obs.Span {
+	if job.TraceParent != nil {
+		return job.TraceParent.Child(job.Name, obs.KindJob)
+	}
+	return c.Tracer.StartSpan(job.Name, obs.KindJob)
+}
+
 // Run executes the job to completion and returns its result.
 func (c *Cluster) Run(job *Job) (*JobResult, error) {
 	start := time.Now()
+	jobSpan := c.jobSpan(job)
+	var fsBefore dfs.Stats
+	if jobSpan != nil && c.FS != nil {
+		fsBefore = c.FS.Stats()
+	}
 	if c.SleepOnLaunch && c.LaunchOverhead > 0 {
 		time.Sleep(c.LaunchOverhead)
 	}
@@ -224,7 +252,8 @@ func (c *Cluster) Run(job *Job) (*JobResult, error) {
 	}
 
 	// ---- Map phase ----
-	mapPhase, err := c.runPhaseLocal(len(job.Splits), maxAttempts, job.Prefer, func(i, attempt, node int) (any, map[string]int64, error) {
+	mapSpan := jobSpan.Child("map", obs.KindPhase)
+	mapPhase, err := c.runPhaseLocal(len(job.Splits), maxAttempts, job.Prefer, mapSpan, "map", func(i, attempt, node int) (any, map[string]int64, error) {
 		if c.InjectFailure != nil {
 			if ferr := c.InjectFailure(job.Name, i, attempt, true); ferr != nil {
 				return nil, nil, ferr
@@ -241,7 +270,10 @@ func (c *Cluster) Run(job *Job) (*JobResult, error) {
 		}
 		return kvs, ctx.counters, nil
 	})
+	mapSpan.Finish()
 	if err != nil {
+		jobSpan.SetLabel("error", err.Error())
+		jobSpan.Finish()
 		return nil, fmt.Errorf("mapreduce: job %s map phase: %w", job.Name, err)
 	}
 	mapOutputs := make([][]KV, len(job.Splits))
@@ -270,6 +302,7 @@ func (c *Cluster) Run(job *Job) (*JobResult, error) {
 		res.TaskFailures = totalFailures
 		res.Elapsed = time.Since(start) + c.LaunchOverhead
 		c.finishJob(totalFailures)
+		c.finishJobObs(jobSpan, res, fsBefore)
 		return res, nil
 	}
 
@@ -277,6 +310,7 @@ func (c *Cluster) Run(job *Job) (*JobResult, error) {
 	// Partition map output; within each partition group values by key.
 	// Iterating map tasks in index order keeps grouped values in a
 	// deterministic order independent of scheduling.
+	shuffleSpan := jobSpan.Child("shuffle", obs.KindPhase)
 	buckets := make([]map[string][][]byte, job.NumReduce)
 	for i := range buckets {
 		buckets[i] = make(map[string][][]byte)
@@ -293,9 +327,12 @@ func (c *Cluster) Run(job *Job) (*JobResult, error) {
 		}
 	}
 	res.ShuffledKVs = shuffled
+	shuffleSpan.SetAttr("shuffled_kvs", int64(shuffled))
+	shuffleSpan.Finish()
 
 	// ---- Reduce phase ----
-	redPhase, err := c.runPhase(job.NumReduce, maxAttempts, func(r, attempt, node int) (any, map[string]int64, error) {
+	redSpan := jobSpan.Child("reduce", obs.KindPhase)
+	redPhase, err := c.runPhaseLocal(job.NumReduce, maxAttempts, nil, redSpan, "reduce", func(r, attempt, node int) (any, map[string]int64, error) {
 		if c.InjectFailure != nil {
 			if ferr := c.InjectFailure(job.Name, r, attempt, false); ferr != nil {
 				return nil, nil, ferr
@@ -315,7 +352,10 @@ func (c *Cluster) Run(job *Job) (*JobResult, error) {
 		}
 		return buf.kvs, ctx.counters, nil
 	})
+	redSpan.Finish()
 	if err != nil {
+		jobSpan.SetLabel("error", err.Error())
+		jobSpan.Finish()
 		return nil, fmt.Errorf("mapreduce: job %s reduce phase: %w", job.Name, err)
 	}
 	totalFailures += redPhase.failures
@@ -336,6 +376,7 @@ func (c *Cluster) Run(job *Job) (*JobResult, error) {
 	res.TaskFailures = totalFailures
 	res.Elapsed = time.Since(start) + c.LaunchOverhead
 	c.finishJob(totalFailures)
+	c.finishJobObs(jobSpan, res, fsBefore)
 	return res, nil
 }
 
@@ -344,6 +385,38 @@ func (c *Cluster) finishJob(failures int) {
 	c.jobsRun++
 	c.failures += failures
 	c.mu.Unlock()
+}
+
+// finishJobObs closes the job span with the run's summary attributes —
+// including the job's DFS byte deltas, so every trace carries the byte
+// attribution the paper's tables are built from — and feeds the metrics
+// registry.
+func (c *Cluster) finishJobObs(jobSpan *obs.Span, res *JobResult, fsBefore dfs.Stats) {
+	if jobSpan != nil {
+		jobSpan.SetAttr("map_tasks", int64(res.MapTasks))
+		jobSpan.SetAttr("reduce_tasks", int64(res.ReduceTasks))
+		jobSpan.SetAttr("task.failures", int64(res.TaskFailures))
+		jobSpan.SetAttr("task.speculative", int64(res.SpeculativeTasks))
+		jobSpan.SetAttr("shuffled_kvs", int64(res.ShuffledKVs))
+		jobSpan.SetAttr("launch_overhead_us", c.LaunchOverhead.Microseconds())
+		if c.FS != nil {
+			after := c.FS.Stats()
+			jobSpan.SetAttr("dfs.bytes_read", after.BytesRead-fsBefore.BytesRead)
+			jobSpan.SetAttr("dfs.bytes_written", after.BytesWritten-fsBefore.BytesWritten)
+			jobSpan.SetAttr("dfs.bytes_transferred", after.BytesTransferred-fsBefore.BytesTransferred)
+			jobSpan.SetAttr("dfs.files_created", after.FilesCreated-fsBefore.FilesCreated)
+		}
+		jobSpan.Finish()
+	}
+	if c.Metrics != nil {
+		c.Metrics.Counter("mapreduce.jobs").Add(1)
+		c.Metrics.Counter("mapreduce.map_tasks").Add(int64(res.MapTasks))
+		c.Metrics.Counter("mapreduce.reduce_tasks").Add(int64(res.ReduceTasks))
+		c.Metrics.Counter("mapreduce.task_failures").Add(int64(res.TaskFailures))
+		c.Metrics.Counter("mapreduce.speculative_tasks").Add(int64(res.SpeculativeTasks))
+		c.Metrics.Counter("mapreduce.shuffled_kvs").Add(int64(res.ShuffledKVs))
+		c.Metrics.Histogram("mapreduce.job_latency").Observe(res.Elapsed)
+	}
 }
 
 // taskFn computes one task attempt, returning its published result and
@@ -362,15 +435,13 @@ type phaseResult struct {
 	speculative int
 }
 
-// runPhase executes n tasks on the worker pool with per-task retry (up to
-// maxAttempts failures) and optional speculative execution. Only the
-// first successful attempt of a task publishes its result and counters.
-func (c *Cluster) runPhase(n, maxAttempts int, run taskFn) (*phaseResult, error) {
-	return c.runPhaseLocal(n, maxAttempts, nil, run)
-}
-
-// runPhaseLocal is runPhase with an optional locality preference.
-func (c *Cluster) runPhaseLocal(n, maxAttempts int, prefer func(task int) []int, run taskFn) (*phaseResult, error) {
+// runPhaseLocal executes n tasks on the worker pool with per-task retry
+// (up to maxAttempts failures), optional locality preference, and optional
+// speculative execution. Only the first successful attempt of a task
+// publishes its result and counters. When phaseSpan is non-nil, every
+// attempt records a task span (named "<label>:<task>") on its node's
+// track.
+func (c *Cluster) runPhaseLocal(n, maxAttempts int, prefer func(task int) []int, phaseSpan *obs.Span, label string, run taskFn) (*phaseResult, error) {
 	pr := &phaseResult{results: make([]any, n), counters: map[string]int64{}}
 	if n == 0 {
 		return pr, nil
@@ -445,10 +516,28 @@ func (c *Cluster) runPhaseLocal(n, maxAttempts int, prefer func(task int) []int,
 					}
 					mu.Unlock()
 
+					var taskSpan *obs.Span
+					if phaseSpan != nil {
+						taskSpan = phaseSpan.Child(label+":"+strconv.Itoa(t.id), obs.KindTask)
+						taskSpan.SetTrack(node)
+						taskSpan.SetAttr("attempt", int64(t.attempt))
+						if t.attempt >= maxAttempts {
+							taskSpan.SetLabel("speculative", "true")
+						}
+					}
 					begin := time.Now()
 					result, counters, err := runSafely(func() (any, map[string]int64, error) {
 						return run(t.id, t.attempt, node)
 					})
+					if taskSpan != nil {
+						if err != nil {
+							taskSpan.SetLabel("error", err.Error())
+						}
+						taskSpan.Finish()
+					}
+					if c.Metrics != nil {
+						c.Metrics.Histogram("mapreduce.task_latency").Observe(time.Since(begin))
+					}
 
 					mu.Lock()
 					running[t.id]--

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // message is one tagged payload in flight.
@@ -32,6 +34,19 @@ type World struct {
 	msgsSent   atomic.Int64
 	maxInbox   int
 	perRankTxB []atomic.Int64
+	perRankRxB []atomic.Int64
+
+	// metric instruments are resolved once in AttachMetrics; nil-safe
+	// no-ops otherwise.
+	mBytesSent *obs.Counter
+	mMsgsSent  *obs.Counter
+}
+
+// AttachMetrics mirrors the world's communication accounting into reg.
+// Call before launching ranks; nil detaches.
+func (w *World) AttachMetrics(reg *obs.Registry) {
+	w.mBytesSent = reg.Counter("mpi.bytes_sent")
+	w.mMsgsSent = reg.Counter("mpi.messages")
 }
 
 // NewWorld creates a communicator with the given number of ranks.
@@ -44,6 +59,7 @@ func NewWorld(size int) *World {
 		queues:     make([]chan message, size),
 		barrier:    newBarrier(size),
 		perRankTxB: make([]atomic.Int64, size),
+		perRankRxB: make([]atomic.Int64, size),
 		maxInbox:   1024,
 	}
 	for i := range w.queues {
@@ -64,6 +80,9 @@ func (w *World) MessagesSent() int64 { return w.msgsSent.Load() }
 
 // RankBytesSent returns the bytes sent by one rank.
 func (w *World) RankBytesSent(rank int) int64 { return w.perRankTxB[rank].Load() }
+
+// RankBytesRecv returns the bytes received (consumed) by one rank.
+func (w *World) RankBytesRecv(rank int) int64 { return w.perRankRxB[rank].Load() }
 
 // Comm is one rank's endpoint.
 type Comm struct {
@@ -104,8 +123,13 @@ func (c *Comm) sendMsg(dst, tag int, data []float64, ints []int) {
 	c.w.bytesSent.Add(n)
 	c.w.perRankTxB[c.rank].Add(n)
 	c.w.msgsSent.Add(1)
+	c.w.mBytesSent.Add(n)
+	c.w.mMsgsSent.Add(1)
 	c.w.queues[dst] <- message{from: c.rank, tag: tag, data: data, ints: ints}
 }
+
+// msgBytes is the accounted payload size of a message.
+func msgBytes(m message) int64 { return int64(8*len(m.data) + 8*len(m.ints)) }
 
 // Recv blocks until a message with the given source and tag arrives and
 // returns its float payload. Out-of-order messages with other (src, tag)
@@ -140,6 +164,7 @@ func (c *Comm) recvMatch(src, tag int) message {
 		if (src < 0 || m.from == src) && m.tag == tag {
 			stash[c.rank] = append(stash[c.rank][:i], stash[c.rank][i+1:]...)
 			pendMu.Unlock()
+			c.w.perRankRxB[c.rank].Add(msgBytes(m))
 			return m
 		}
 	}
@@ -147,6 +172,7 @@ func (c *Comm) recvMatch(src, tag int) message {
 	for {
 		m := <-c.w.queues[c.rank]
 		if (src < 0 || m.from == src) && m.tag == tag {
+			c.w.perRankRxB[c.rank].Add(msgBytes(m))
 			return m
 		}
 		pendMu.Lock()

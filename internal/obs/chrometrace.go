@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// The Chrome trace-event JSON format (the "JSON Array Format with
+// metadata" variant) is what chrome://tracing and Perfetto's legacy
+// importer load: an object with a traceEvents array of complete ("X")
+// events carrying microsecond timestamps and durations, plus metadata
+// ("M") events naming processes and threads. Each simulated cluster node
+// gets its own thread track; master-side spans (jobs, phases, pipeline,
+// leaf decompositions) share the master track.
+
+// traceEvent is one entry of the traceEvents array.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+const tracePID = 1
+
+// trackTID maps a span track to a Chrome thread id: the master track is
+// tid 0, node i is tid i+1.
+func trackTID(track int) int {
+	if track < 0 {
+		return 0
+	}
+	return track + 1
+}
+
+// WriteChromeTrace writes the spans as Chrome trace-event JSON. Unfinished
+// spans are skipped. Timestamps are microseconds relative to the earliest
+// span start, so traces from different runs line up at zero.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	var t0 time.Time
+	for i := range spans {
+		if spans[i].End.IsZero() {
+			continue
+		}
+		if t0.IsZero() || spans[i].Start.Before(t0) {
+			t0 = spans[i].Start
+		}
+	}
+
+	tracks := map[int]bool{}
+	events := make([]traceEvent, 0, len(spans)+4)
+	for i := range spans {
+		s := &spans[i]
+		if s.End.IsZero() {
+			continue
+		}
+		tracks[s.Track] = true
+		ev := traceEvent{
+			Name:  s.Name,
+			Cat:   string(s.Kind),
+			Phase: "X",
+			TS:    s.Start.Sub(t0).Microseconds(),
+			Dur:   s.End.Sub(s.Start).Microseconds(),
+			PID:   tracePID,
+			TID:   trackTID(s.Track),
+		}
+		if len(s.Attrs) > 0 || len(s.Labels) > 0 {
+			ev.Args = make(map[string]any, len(s.Attrs)+len(s.Labels))
+			for k, v := range s.Attrs {
+				ev.Args[k] = v
+			}
+			for k, v := range s.Labels {
+				ev.Args[k] = v
+			}
+		}
+		events = append(events, ev)
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].TS != events[j].TS {
+			return events[i].TS < events[j].TS
+		}
+		if events[i].TID != events[j].TID {
+			return events[i].TID < events[j].TID
+		}
+		return events[i].Name < events[j].Name
+	})
+
+	// Metadata events: one named thread per track, sorted master-first so
+	// Perfetto displays the pipeline above the node lanes.
+	trackIDs := make([]int, 0, len(tracks))
+	for tr := range tracks {
+		trackIDs = append(trackIDs, tr)
+	}
+	sort.Ints(trackIDs)
+	meta := []traceEvent{{
+		Name: "process_name", Phase: "M", PID: tracePID, TID: 0,
+		Args: map[string]any{"name": "mrinverse simulated cluster"},
+	}}
+	for _, tr := range trackIDs {
+		name := "master"
+		if tr >= 0 {
+			name = fmt.Sprintf("node %d", tr)
+		}
+		meta = append(meta,
+			traceEvent{Name: "thread_name", Phase: "M", PID: tracePID, TID: trackTID(tr),
+				Args: map[string]any{"name": name}},
+			traceEvent{Name: "thread_sort_index", Phase: "M", PID: tracePID, TID: trackTID(tr),
+				Args: map[string]any{"sort_index": trackTID(tr)}},
+		)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceFile{
+		TraceEvents:     append(meta, events...),
+		DisplayTimeUnit: "ms",
+	})
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// goldenSpans is a small deterministic trace exercising every exporter
+// feature: master and node tracks, attrs, labels, and an unfinished span
+// (which must be skipped).
+func goldenSpans() []Span {
+	spans := []Span{
+		mkSpan(1, 0, "pipeline.invert", KindPipeline, TrackMaster, 0, 90),
+		mkSpan(2, 1, "partition", KindJob, TrackMaster, 0, 20),
+		mkSpan(3, 2, "map", KindPhase, TrackMaster, 1, 19),
+		mkSpan(4, 3, "map:0", KindTask, 0, 2, 10),
+		mkSpan(5, 3, "map:1", KindTask, 1, 2, 12),
+		mkSpan(6, 1, "lu:Root", KindJob, TrackMaster, 25, 80),
+	}
+	spans[3].Attrs = map[string]int64{"attempt": 0, "dfs.bytes_read": 4096}
+	spans[4].Labels = map[string]string{"speculative": "true"}
+	spans[5].Attrs = map[string]int64{"shuffled_kvs": 8}
+	unfinished := mkSpan(7, 1, "unfinished", KindOp, TrackMaster, 85, 85)
+	unfinished.End = time.Time{}
+	return append(spans, unfinished)
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenSpans()); err != nil {
+		t.Fatal(err)
+	}
+
+	goldenPath := filepath.Join("testdata", "chrometrace.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update-golden): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exported trace differs from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestChromeTraceShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenSpans()); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    int64          `json:"ts"`
+			Dur   int64          `json:"dur"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if parsed.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", parsed.DisplayTimeUnit)
+	}
+	var complete, meta int
+	threadNames := map[int]string{}
+	for _, ev := range parsed.TraceEvents {
+		switch ev.Phase {
+		case "X":
+			complete++
+			if ev.Name == "unfinished" {
+				t.Fatal("unfinished span exported")
+			}
+			if ev.Name == "map:0" {
+				if ev.TID != 1 { // node 0 -> tid 1
+					t.Fatalf("map:0 on tid %d, want 1", ev.TID)
+				}
+				if ev.Dur != (8 * time.Millisecond).Microseconds() {
+					t.Fatalf("map:0 dur = %d", ev.Dur)
+				}
+				if v, ok := ev.Args["dfs.bytes_read"].(float64); !ok || v != 4096 {
+					t.Fatalf("map:0 args = %v", ev.Args)
+				}
+			}
+		case "M":
+			meta++
+			if ev.Name == "thread_name" {
+				threadNames[ev.TID], _ = ev.Args["name"].(string)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ev.Phase)
+		}
+	}
+	if complete != 6 {
+		t.Fatalf("exported %d complete events, want 6", complete)
+	}
+	// One track per simulated node plus the master track.
+	want := map[int]string{0: "master", 1: "node 0", 2: "node 1"}
+	for tid, name := range want {
+		if threadNames[tid] != name {
+			t.Fatalf("thread %d named %q, want %q", tid, threadNames[tid], name)
+		}
+	}
+	if meta != 1+len(want)*2 {
+		t.Fatalf("exported %d metadata events, want %d", meta, 1+len(want)*2)
+	}
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// mkSpan builds a snapshot-shaped span with millisecond offsets from t0.
+func mkSpan(id, parent int64, name string, kind SpanKind, track int, startMS, endMS int64) Span {
+	t0 := time.Unix(2000, 0)
+	return Span{
+		ID: id, Parent: parent, Name: name, Kind: kind, Track: track,
+		Start: t0.Add(time.Duration(startMS) * time.Millisecond),
+		End:   t0.Add(time.Duration(endMS) * time.Millisecond),
+	}
+}
+
+func TestCriticalPathPartitionsWallClock(t *testing.T) {
+	// root [0,100]; job1 [5,40]; job2 [45,95]; under job2 two tasks
+	// [50,60] and [55,90]: the path must pick the later-finishing task.
+	spans := []Span{
+		mkSpan(1, 0, "pipeline", KindPipeline, TrackMaster, 0, 100),
+		mkSpan(2, 1, "job1", KindJob, TrackMaster, 5, 40),
+		mkSpan(3, 1, "job2", KindJob, TrackMaster, 45, 95),
+		mkSpan(4, 3, "task:a", KindTask, 0, 50, 60),
+		mkSpan(5, 3, "task:b", KindTask, 1, 55, 90),
+	}
+	cp, err := ComputeCriticalPath(spans, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := spans[0].End.Sub(spans[0].Start)
+	if cp.Total != wall {
+		t.Fatalf("critical path total %v != wall-clock %v", cp.Total, wall)
+	}
+	var names []string
+	for _, s := range cp.Segments {
+		names = append(names, s.Span.Name)
+	}
+	got := strings.Join(names, ",")
+	// Walking forward in time: pipeline gap, job1, gap, job2 launch gap,
+	// task:a until task:b starts, task:b (the bounding task), job2 tail,
+	// pipeline tail.
+	want := "pipeline,job1,pipeline,job2,task:a,task:b,job2,pipeline"
+	if got != want {
+		t.Fatalf("segments = %s, want %s", got, want)
+	}
+	// task:b bounded the phase, so it carries its full 35ms; task:a only
+	// covers the 5ms before task:b started.
+	for _, s := range cp.Segments {
+		if s.Span.Name == "task:b" && s.Duration != 35*time.Millisecond {
+			t.Fatalf("task:b duration = %v, want 35ms", s.Duration)
+		}
+		if s.Span.Name == "task:a" && s.Duration != 5*time.Millisecond {
+			t.Fatalf("task:a duration = %v, want 5ms", s.Duration)
+		}
+	}
+	out := cp.String()
+	if !strings.Contains(out, "task:b") || !strings.Contains(out, "node 1") {
+		t.Fatalf("render missing path content:\n%s", out)
+	}
+}
+
+func TestCriticalPathNestedChildOutlivesSibling(t *testing.T) {
+	// A child overlapping the bounding child's start: the walk must hand
+	// the earlier window to the earlier finisher.
+	spans := []Span{
+		mkSpan(1, 0, "root", KindPipeline, TrackMaster, 0, 50),
+		mkSpan(2, 1, "a", KindJob, TrackMaster, 0, 30),
+		mkSpan(3, 1, "b", KindJob, TrackMaster, 20, 50),
+	}
+	cp, err := ComputeCriticalPath(spans, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Total != 50*time.Millisecond {
+		t.Fatalf("total = %v", cp.Total)
+	}
+	// b covers [20,50]; a covers [0,20] (clamped).
+	if len(cp.Segments) != 2 || cp.Segments[0].Span.Name != "a" || cp.Segments[1].Span.Name != "b" {
+		t.Fatalf("segments = %+v", cp.Segments)
+	}
+	if cp.Segments[0].Duration != 20*time.Millisecond || cp.Segments[1].Duration != 30*time.Millisecond {
+		t.Fatalf("durations = %v, %v", cp.Segments[0].Duration, cp.Segments[1].Duration)
+	}
+}
+
+func TestCriticalPathErrors(t *testing.T) {
+	if _, err := ComputeCriticalPath(nil, 0); err == nil {
+		t.Fatal("want error on empty snapshot")
+	}
+	unfinished := []Span{{ID: 1, Name: "r", Start: time.Unix(0, 0)}}
+	if _, err := ComputeCriticalPath(unfinished, 0); err == nil {
+		t.Fatal("want error on unfinished root")
+	}
+}

@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. A nil *Counter is a valid
+// no-op instrument, so instrumented code can hold one unconditionally.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a set-to-current-value metric.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge's current value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value returns the gauge (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefaultLatencyBuckets are the fixed upper bounds of latency histograms:
+// exponential from 10µs to ~10s, plus the implicit +Inf bucket.
+var DefaultLatencyBuckets = []time.Duration{
+	10 * time.Microsecond,
+	100 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+	10 * time.Second,
+}
+
+// Histogram is a fixed-bucket latency histogram.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []time.Duration
+	counts []int64 // len(bounds)+1; last is the overflow bucket
+	sum    time.Duration
+	n      int64
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := 0
+	for i < len(h.bounds) && d > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += d
+	h.n++
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is one histogram's frozen state.
+type HistogramSnapshot struct {
+	Bounds []time.Duration
+	Counts []int64
+	Sum    time.Duration
+	Count  int64
+}
+
+// Snapshot freezes the histogram's state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Bounds: append([]time.Duration(nil), h.bounds...),
+		Counts: append([]int64(nil), h.counts...),
+		Sum:    h.sum,
+		Count:  h.n,
+	}
+}
+
+// Registry holds named metrics. A nil *Registry hands out nil instruments,
+// so attaching metrics is optional everywhere.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter; nil on a nil
+// registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge; nil on a nil
+// registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named latency histogram with
+// the default buckets; nil on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{
+			bounds: DefaultLatencyBuckets,
+			counts: make([]int64, len(DefaultLatencyBuckets)+1),
+		}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Render writes a sorted plain-text table of every metric.
+func (r *Registry) Render(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	cnames := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		cnames = append(cnames, n)
+	}
+	gnames := make([]string, 0, len(r.gauges))
+	for n := range r.gauges {
+		gnames = append(gnames, n)
+	}
+	hnames := make([]string, 0, len(r.histograms))
+	for n := range r.histograms {
+		hnames = append(hnames, n)
+	}
+	r.mu.Unlock()
+	sort.Strings(cnames)
+	sort.Strings(gnames)
+	sort.Strings(hnames)
+	for _, n := range cnames {
+		fmt.Fprintf(w, "counter   %-36s %d\n", n, r.Counter(n).Value())
+	}
+	for _, n := range gnames {
+		fmt.Fprintf(w, "gauge     %-36s %d\n", n, r.Gauge(n).Value())
+	}
+	for _, n := range hnames {
+		s := r.Histogram(n).Snapshot()
+		mean := time.Duration(0)
+		if s.Count > 0 {
+			mean = s.Sum / time.Duration(s.Count)
+		}
+		fmt.Fprintf(w, "histogram %-36s n=%d mean=%v", n, s.Count, mean)
+		for i, b := range s.Bounds {
+			if s.Counts[i] > 0 {
+				fmt.Fprintf(w, " le(%v)=%d", b, s.Counts[i])
+			}
+		}
+		if s.Counts[len(s.Bounds)] > 0 {
+			fmt.Fprintf(w, " le(+Inf)=%d", s.Counts[len(s.Bounds)])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// String renders the registry as text.
+func (r *Registry) String() string {
+	var b strings.Builder
+	r.Render(&b)
+	return b.String()
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/matrix"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 // Two-dimensional block-cyclic LU factorization and inversion — the
@@ -27,6 +28,9 @@ type Grid2D struct {
 	// near-square factorization pr x pc computed internally.
 	Procs     int
 	BlockSize int
+	// Tracer/Metrics mirror Config's observability hooks.
+	Tracer  *obs.Tracer
+	Metrics *obs.Registry
 }
 
 func (g *Grid2D) normalize() (pr, pc int) {
@@ -72,10 +76,16 @@ func Invert2D(a *matrix.Dense, cfg Grid2D) (*matrix.Dense, *Stats, error) {
 		return matrix.New(0, 0), &Stats{}, nil
 	}
 	world := mpi.NewWorld(cfg.Procs)
+	world.AttachMetrics(cfg.Metrics)
+	span := cfg.Tracer.StartSpan("scalapack.invert2d", obs.KindPipeline)
+	span.SetAttr("order", int64(n))
+	span.SetAttr("grid_rows", int64(pr))
+	span.SetAttr("grid_cols", int64(pc))
 	out := matrix.New(n, n)
 	err := mpi.RunWorld(world, func(c *mpi.Comm) error {
 		return rank2D(c, a, out, n, pr, pc, cfg.BlockSize)
 	})
+	finishWorldSpan(span, world, err)
 	if err != nil {
 		return nil, nil, err
 	}

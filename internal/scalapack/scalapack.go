@@ -28,6 +28,7 @@ import (
 	"repro/internal/lu"
 	"repro/internal/matrix"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 // ErrSingular is returned when a pivot column is zero to working precision.
@@ -41,6 +42,11 @@ const DefaultBlockSize = 128
 type Config struct {
 	Procs     int
 	BlockSize int
+	// Tracer, when non-nil, records the run as a span carrying the
+	// communicator's total and per-rank send/receive volumes.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, receives the MPI communication counters.
+	Metrics *obs.Registry
 }
 
 func (c *Config) normalize() {
@@ -80,11 +86,16 @@ func Invert(a *matrix.Dense, cfg Config) (*matrix.Dense, *Stats, error) {
 		return matrix.New(0, 0), &Stats{}, nil
 	}
 	world := mpi.NewWorld(cfg.Procs)
+	world.AttachMetrics(cfg.Metrics)
+	span := cfg.Tracer.StartSpan("scalapack.invert", obs.KindPipeline)
+	span.SetAttr("order", int64(n))
+	span.SetAttr("procs", int64(cfg.Procs))
 	out := matrix.New(n, n)
 	var panels int
 	err := mpi.RunWorld(world, func(c *mpi.Comm) error {
 		return rankMain(c, a, out, cfg, &panels)
 	})
+	finishWorldSpan(span, world, err)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -93,6 +104,24 @@ func Invert(a *matrix.Dense, cfg Config) (*matrix.Dense, *Stats, error) {
 		Messages:         world.MessagesSent(),
 		PanelBroadcasts:  panels,
 	}, nil
+}
+
+// finishWorldSpan closes a run span with the communicator's total and
+// per-rank volumes — the Tables 1-2 "Transfer" attribution per rank.
+func finishWorldSpan(span *obs.Span, world *mpi.World, err error) {
+	if span == nil {
+		return
+	}
+	span.SetAttr("mpi.bytes_sent", world.BytesSent())
+	span.SetAttr("mpi.messages", world.MessagesSent())
+	for r := 0; r < world.Size(); r++ {
+		span.SetAttr(fmt.Sprintf("mpi.rank%d.bytes_sent", r), world.RankBytesSent(r))
+		span.SetAttr(fmt.Sprintf("mpi.rank%d.bytes_recv", r), world.RankBytesRecv(r))
+	}
+	if err != nil {
+		span.SetLabel("error", err.Error())
+	}
+	span.Finish()
 }
 
 // ownerOf returns the rank owning global column j.

@@ -41,6 +41,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lu"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/scalapack"
 	"repro/internal/workload"
 )
@@ -65,6 +66,21 @@ type ScaLAPACKConfig = scalapack.Config
 
 // ScaLAPACKStats reports the baseline's communication volume.
 type ScaLAPACKStats = scalapack.Stats
+
+// Tracer records a hierarchical span tree of a run (internal/obs). Attach
+// one with InvertObserved, export it with WriteChromeTrace, analyze it
+// with obs.ComputeCriticalPath. A nil Tracer disables tracing at zero cost.
+type Tracer = obs.Tracer
+
+// Metrics is a registry of counters, gauges, and latency histograms fed by
+// the instrumented layers (internal/obs).
+type Metrics = obs.Registry
+
+// NewTracer returns an empty span tracer.
+func NewTracer() *Tracer { return obs.New() }
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
 
 // DefaultOptions returns the paper's optimized configuration for a
 // simulated cluster of the given node count.
@@ -94,6 +110,19 @@ func Invert(a *Matrix, opts Options) (*Matrix, *Report, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	return p.Invert(a)
+}
+
+// InvertObserved is Invert with observability attached: spans land in tr
+// and counters in met (either may be nil). The returned Report's Trace
+// field holds the run's root span.
+func InvertObserved(a *Matrix, opts Options, tr *Tracer, met *Metrics) (*Matrix, *Report, error) {
+	p, err := core.NewPipeline(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	p.Tracer = tr
+	p.Metrics = met
 	return p.Invert(a)
 }
 
