@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments examples trace fmt vet clean
+.PHONY: all build test race cover bench experiments examples trace serve load fmt vet clean
 
 all: build test
 
@@ -45,6 +45,17 @@ trace:
 	$(GO) run repro/cmd/matgen -n 256 -o /tmp/matinv-trace-input.bin
 	$(GO) run repro/cmd/matinv -in /tmp/matinv-trace-input.bin -nodes 8 -nb 64 -trace trace.json -metrics
 	@echo "trace written to trace.json — open it in chrome://tracing or ui.perfetto.dev"
+
+# Start the inversion server on :8723 (POST matrices to /invert; see
+# /statz and /metricz for the serving counters).
+serve:
+	$(GO) run repro/cmd/matserve -addr :8723 -metrics
+
+# Self-contained load run: loadgen starts an in-process matserve and
+# drives the default request mix, printing a JSONL latency summary.
+load:
+	$(GO) run repro/cmd/loadgen -mode closed -concurrency 8 -requests 64 -seed 1
+	$(GO) run repro/cmd/loadgen -mode open -rate 50 -requests 64 -seed 1
 
 fmt:
 	gofmt -w .

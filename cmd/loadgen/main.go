@@ -1,0 +1,272 @@
+// loadgen drives a matserve instance and reports serving throughput and
+// latency percentiles as JSONL — the repository's end-to-end serving
+// benchmark.
+//
+// Two driving disciplines:
+//
+//   - closed loop (-mode closed): -concurrency workers issue requests
+//     back-to-back, measuring the server's sustainable throughput;
+//   - open loop (-mode open): requests arrive at a fixed -rate regardless
+//     of completions, measuring latency under offered load (and provoking
+//     429 backpressure when the rate exceeds capacity).
+//
+// Requests are drawn from an internal/workload request mix (weighted
+// sizes plus a duplicate fraction that exercises the server's dedup and
+// cache paths) and are reproducible run-to-run under a fixed -seed.
+//
+// With no -url, loadgen starts its own in-process matserve on a loopback
+// port, making `make load` self-contained:
+//
+//	loadgen -requests 64 -mode closed -concurrency 8 -seed 7
+//	loadgen -url http://localhost:8723 -mode open -rate 50 -requests 200
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+type result struct {
+	Index   int     `json:"i"`
+	Order   int     `json:"order"`
+	Dup     bool    `json:"dup"`
+	Status  int     `json:"status"`
+	Source  string  `json:"source,omitempty"`
+	Millis  float64 `json:"ms"`
+	Err     string  `json:"err,omitempty"`
+	started time.Time
+}
+
+type summary struct {
+	Kind       string         `json:"kind"` // "summary"
+	Mode       string         `json:"mode"`
+	Seed       int64          `json:"seed"`
+	Requests   int            `json:"requests"`
+	OK         int            `json:"ok"`
+	Statuses   map[string]int `json:"statuses"`
+	CacheHits  int            `json:"cache_hits"`
+	DedupHits  int            `json:"dedup_hits"`
+	WallSec    float64        `json:"wall_s"`
+	Throughput float64        `json:"throughput_rps"`
+	MeanMs     float64        `json:"mean_ms"`
+	P50Ms      float64        `json:"p50_ms"`
+	P95Ms      float64        `json:"p95_ms"`
+	P99Ms      float64        `json:"p99_ms"`
+}
+
+func main() {
+	url := flag.String("url", "", "matserve base URL; empty starts an in-process server")
+	mode := flag.String("mode", "closed", "closed (fixed concurrency) | open (fixed arrival rate)")
+	concurrency := flag.Int("concurrency", 8, "closed-loop worker count")
+	rate := flag.Float64("rate", 16, "open-loop arrival rate, requests/second")
+	requests := flag.Int("requests", 64, "total requests to issue")
+	seed := flag.Int64("seed", 1, "workload seed: same seed, same request sequence")
+	mixSpec := flag.String("mix", "24:5,40:3,64:2", "request size mix as order:weight,...")
+	dup := flag.Float64("dup", 0.25, "duplicate-request probability (exercises dedup + cache)")
+	timeout := flag.Duration("timeout", 0, "per-request server-side deadline (0 = none)")
+	nodes := flag.Int("nodes", 0, "nodes override sent with each request (0 = server default)")
+	nb := flag.Int("nb", 0, "nb override sent with each request (0 = server default)")
+	perRequest := flag.Bool("per-request", false, "emit one JSONL line per request before the summary")
+	serveConc := flag.Int("serve-concurrency", 4, "in-process server: concurrent pipelines")
+	serveQueue := flag.Int("serve-queue", 64, "in-process server: admission queue depth")
+	flag.Parse()
+
+	entries, err := workload.ParseMix(*mixSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mix := workload.Mix{Entries: entries, DupProb: *dup}
+
+	base := *url
+	if base == "" {
+		var stop func()
+		base, stop = selfServe(*serveConc, *serveQueue)
+		defer stop()
+	}
+	target := base + "/invert?"
+	if *timeout > 0 {
+		target += fmt.Sprintf("timeout=%s&", *timeout)
+	}
+	if *nodes > 0 {
+		target += fmt.Sprintf("nodes=%d&", *nodes)
+	}
+	if *nb > 0 {
+		target += fmt.Sprintf("nb=%d&", *nb)
+	}
+
+	// Materialize the request sequence up front: deterministic under
+	// -seed, and duplicate specs reuse the serialized body bytes.
+	stream := mix.Stream(*seed)
+	specs := stream.Take(*requests)
+	bodies := make(map[[2]int64][]byte)
+	for _, sp := range specs {
+		k := [2]int64{int64(sp.Order), sp.Seed}
+		if _, ok := bodies[k]; !ok {
+			var buf bytes.Buffer
+			if err := matrix.WriteBinary(&buf, sp.Build()); err != nil {
+				log.Fatal(err)
+			}
+			bodies[k] = buf.Bytes()
+		}
+	}
+	body := func(sp workload.RequestSpec) []byte { return bodies[[2]int64{int64(sp.Order), sp.Seed}] }
+
+	client := &http.Client{}
+	results := make([]result, *requests)
+	fire := func(i int) {
+		sp := specs[i]
+		res := result{Index: i, Order: sp.Order, Dup: sp.Dup, started: time.Now()}
+		resp, err := client.Post(target, "application/octet-stream", bytes.NewReader(body(sp)))
+		res.Millis = float64(time.Since(res.started).Microseconds()) / 1000
+		if err != nil {
+			res.Err = err.Error()
+		} else {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			res.Status = resp.StatusCode
+			res.Source = resp.Header.Get("X-Source")
+		}
+		results[i] = res
+	}
+
+	start := time.Now()
+	switch *mode {
+	case "closed":
+		var wg sync.WaitGroup
+		next := make(chan int)
+		go func() {
+			for i := 0; i < *requests; i++ {
+				next <- i
+			}
+			close(next)
+		}()
+		for w := 0; w < *concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					fire(i)
+				}
+			}()
+		}
+		wg.Wait()
+	case "open":
+		if *rate <= 0 {
+			log.Fatal("open loop needs -rate > 0")
+		}
+		interval := time.Duration(float64(time.Second) / *rate)
+		var wg sync.WaitGroup
+		ticker := time.NewTicker(interval)
+		for i := 0; i < *requests; i++ {
+			if i > 0 {
+				<-ticker.C
+			}
+			wg.Add(1)
+			go func(i int) { defer wg.Done(); fire(i) }(i)
+		}
+		ticker.Stop()
+		wg.Wait()
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+	wall := time.Since(start)
+
+	enc := json.NewEncoder(os.Stdout)
+	if *perRequest {
+		for _, r := range results {
+			enc.Encode(r)
+		}
+	}
+	enc.Encode(summarize(*mode, *seed, results, wall))
+}
+
+// summarize folds per-request results into the JSONL summary line.
+func summarize(mode string, seed int64, results []result, wall time.Duration) summary {
+	s := summary{Kind: "summary", Mode: mode, Seed: seed, Requests: len(results),
+		Statuses: map[string]int{}, WallSec: wall.Seconds()}
+	var lat []float64
+	var sum float64
+	for _, r := range results {
+		if r.Err != "" {
+			s.Statuses["error"]++
+			continue
+		}
+		s.Statuses[fmt.Sprintf("%d", r.Status)]++
+		if r.Status == http.StatusOK {
+			s.OK++
+			lat = append(lat, r.Millis)
+			sum += r.Millis
+			switch r.Source {
+			case "cache":
+				s.CacheHits++
+			case "dedup":
+				s.DedupHits++
+			}
+		}
+	}
+	if wall > 0 {
+		s.Throughput = float64(s.OK) / wall.Seconds()
+	}
+	if len(lat) > 0 {
+		sort.Float64s(lat)
+		s.MeanMs = sum / float64(len(lat))
+		s.P50Ms = percentile(lat, 0.50)
+		s.P95Ms = percentile(lat, 0.95)
+		s.P99Ms = percentile(lat, 0.99)
+	}
+	return s
+}
+
+// percentile reads the p-quantile from sorted latencies (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// selfServe starts an in-process matserve on a loopback port and returns
+// its base URL plus a shutdown function.
+func selfServe(concurrency, queue int) (string, func()) {
+	opts := core.DefaultOptions(8)
+	opts.NB = 64
+	srv, err := serve.New(serve.Config{
+		Concurrency: concurrency,
+		QueueDepth:  queue,
+		CacheBytes:  64 << 20,
+		Opts:        opts,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: serve.NewHandler(srv)}
+	go hs.Serve(ln)
+	stop := func() {
+		srv.Close()
+		hs.Close()
+	}
+	return "http://" + ln.Addr().String(), stop
+}

@@ -1,0 +1,83 @@
+// matserve exposes the MapReduce inversion pipeline as an HTTP service:
+// many concurrent clients multiplexed onto one simulated cluster, with
+// bounded admission (429 on overflow), singleflight deduplication of
+// identical in-flight matrices, an LRU cache of computed inverses,
+// per-request deadlines, and graceful drain on SIGINT/SIGTERM.
+//
+//	matserve -addr :8723 -nodes 8 -nb 64 -concurrency 4 -queue 32 -cache-mb 64
+//
+//	POST /invert    binary matrix body -> binary inverse
+//	                query: timeout=250ms  nodes=8  nb=64
+//	GET  /healthz /statz /metricz
+//
+// Clients: cmd/loadgen drives it; or curl:
+//
+//	matgen -n 64 -o a.bin && curl --data-binary @a.bin localhost:8723/invert -o inv.bin
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8723", "listen address")
+	nodes := flag.Int("nodes", 8, "simulated cluster nodes (m0)")
+	nb := flag.Int("nb", 64, "bound value for the pipeline")
+	concurrency := flag.Int("concurrency", 2, "pipelines executed at once")
+	queue := flag.Int("queue", 16, "admission queue depth (excess requests get 429)")
+	cacheMB := flag.Int64("cache-mb", 64, "inverse result cache budget in MiB (0 disables)")
+	timeout := flag.Duration("timeout", 0, "default per-request deadline when the client sets none (0 = unlimited)")
+	drainGrace := flag.Duration("drain", 10*time.Second, "graceful drain budget on shutdown")
+	showMetrics := flag.Bool("metrics", false, "print the metrics registry after drain")
+	flag.Parse()
+
+	opts := core.DefaultOptions(*nodes)
+	opts.NB = *nb
+	srv, err := serve.New(serve.Config{
+		Concurrency:    *concurrency,
+		QueueDepth:     *queue,
+		CacheBytes:     *cacheMB << 20,
+		DefaultTimeout: *timeout,
+		Opts:           opts,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: serve.NewHandler(srv)}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		<-sig
+		log.Printf("draining (grace %v)...", *drainGrace)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+		defer cancel()
+		if derr := srv.Drain(ctx); derr != nil {
+			log.Printf("drain: %v", derr)
+		}
+		hs.Shutdown(ctx)
+	}()
+
+	log.Printf("matserve listening on %s (nodes=%d nb=%d concurrency=%d queue=%d cache=%dMiB)",
+		*addr, *nodes, *nb, *concurrency, *queue, *cacheMB)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	<-done
+	if *showMetrics {
+		fmt.Print(srv.Metrics().String())
+	}
+}

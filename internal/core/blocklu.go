@@ -17,8 +17,13 @@ import (
 // Figure 5). Leaves are decomposed on the master with Algorithm 1.
 
 // computeLU decomposes the submatrix described by node and returns its
-// factor handle. jobs are appended to st's counters as they run.
+// factor handle. jobs are appended to st's counters as they run. The
+// run's context is observed before every leaf decomposition and recursion
+// level, so a canceled run stops between jobs rather than mid-pipeline.
 func (st *pipelineState) computeLU(node *nodeInput) (*luHandle, error) {
+	if err := st.runCtx().Err(); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", node.dir, err)
+	}
 	if node.n <= st.opts.NB {
 		return st.masterLU(node)
 	}
@@ -238,7 +243,7 @@ func (st *pipelineState) runLevelJob(node *nodeInput, h int, h1 *luHandle, a2ref
 		},
 	}
 	job.TraceParent = st.span
-	jr, err := st.cluster.Run(job)
+	jr, err := st.cluster.RunCtx(st.runCtx(), job)
 	if err != nil {
 		return nil, err
 	}

@@ -71,7 +71,7 @@ func (st *pipelineState) runInvertJob(hd *luHandle) (*matrix.Dense, error) {
 		},
 	}
 	job.TraceParent = st.span
-	jr, err := st.cluster.Run(job)
+	jr, err := st.cluster.RunCtx(st.runCtx(), job)
 	if err != nil {
 		return nil, err
 	}

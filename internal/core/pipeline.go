@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -85,7 +86,8 @@ type pipelineState struct {
 	opts    Options
 	fs      *dfs.FS
 	cluster *mapreduce.Cluster
-	span    *obs.Span // run root span; nil when tracing is off
+	ctx     context.Context // run cancellation; never nil
+	span    *obs.Span       // run root span; nil when tracing is off
 
 	jobsRun              int
 	jobLog               []JobSummary
@@ -97,6 +99,15 @@ type pipelineState struct {
 	masterCombines       int
 	counters             map[string]int64
 	jobElapsed           time.Duration
+}
+
+// runCtx returns the run's cancellation context, defaulting to Background
+// for callers (and tests) that build a pipelineState without one.
+func (st *pipelineState) runCtx() context.Context {
+	if st.ctx == nil {
+		return context.Background()
+	}
+	return st.ctx
 }
 
 func (st *pipelineState) recordJob(jr *mapreduce.JobResult) {
@@ -147,15 +158,30 @@ func NewPipelineOn(opts Options, fs *dfs.FS, cl *mapreduce.Cluster) (*Pipeline, 
 // the recursion factors must be nonsingular — the block method pivots
 // only within blocks, see DESIGN.md).
 func (p *Pipeline) Invert(a *matrix.Dense) (*matrix.Dense, *Report, error) {
+	return p.InvertCtx(context.Background(), a)
+}
+
+// InvertCtx is Invert with a cancellation context: the pipeline observes
+// ctx cooperatively between recursion levels and between the map, shuffle,
+// and reduce phases of each MapReduce job (the granularity at which a real
+// Hadoop job tracker kills a job). An already-expired ctx returns before
+// any cluster work is scheduled.
+func (p *Pipeline) InvertCtx(ctx context.Context, a *matrix.Dense) (*matrix.Dense, *Report, error) {
+	if a == nil {
+		return nil, nil, fmt.Errorf("core: Invert: %w", ErrNilMatrix)
+	}
 	if !a.IsSquare() {
-		return nil, nil, fmt.Errorf("core: Invert: input is %dx%d, not square", a.Rows, a.Cols)
+		return nil, nil, fmt.Errorf("core: Invert: input is %dx%d: %w", a.Rows, a.Cols, ErrNotSquare)
 	}
 	if a.Rows == 0 {
 		return matrix.New(0, 0), &Report{}, nil
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	start := time.Now()
 	p.attachObs()
-	st := &pipelineState{opts: p.Opts, fs: p.FS, cluster: p.Cluster}
+	st := &pipelineState{opts: p.Opts, fs: p.FS, cluster: p.Cluster, ctx: ctx}
 	n := a.Rows
 	statsBefore := p.FS.Stats()
 	var ioBefore []dfs.NodeIO
@@ -182,7 +208,7 @@ func (p *Pipeline) Invert(a *matrix.Dense) (*matrix.Dense, *Report, error) {
 	// Stage 1: partition job (map-only).
 	pjob := partitionJob(p.Opts, n, p.FS)
 	pjob.TraceParent = st.span
-	pj, err := p.Cluster.Run(pjob)
+	pj, err := p.Cluster.RunCtx(ctx, pjob)
 	if err != nil {
 		finishSpanErr(st.span, err)
 		return nil, nil, err
@@ -287,7 +313,7 @@ func (p *Pipeline) Decompose(a *matrix.Dense) (perm matrix.Perm, l, u *matrix.De
 		return nil, nil, nil, fmt.Errorf("core: Decompose: input is %dx%d, not square", a.Rows, a.Cols)
 	}
 	p.attachObs()
-	st := &pipelineState{opts: p.Opts, fs: p.FS, cluster: p.Cluster}
+	st := &pipelineState{opts: p.Opts, fs: p.FS, cluster: p.Cluster, ctx: context.Background()}
 	st.span = p.Tracer.StartSpan("pipeline.decompose", obs.KindPipeline)
 	defer st.span.Finish()
 	n := a.Rows

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// Typed input-validation sentinels. The facade and the serving layer both
+// funnel inputs through ValidateInput so a malformed request is rejected
+// with a matchable error (HTTP 400 in matserve) instead of surfacing as an
+// opaque pipeline failure.
+var (
+	// ErrNilMatrix reports a nil input matrix.
+	ErrNilMatrix = errors.New("core: nil input matrix")
+	// ErrEmptyMatrix reports a 0x0 (or zero-row/zero-column) input.
+	ErrEmptyMatrix = errors.New("core: empty input matrix")
+	// ErrNotSquare reports a rectangular input where a square one is
+	// required.
+	ErrNotSquare = errors.New("core: input matrix is not square")
+)
+
+// ValidateInput checks that a is a usable inversion input: non-nil,
+// non-empty, and square. It returns one of the sentinel errors above
+// (wrapped with the offending shape where applicable).
+func ValidateInput(a *matrix.Dense) error {
+	if a == nil {
+		return ErrNilMatrix
+	}
+	if a.Rows == 0 || a.Cols == 0 {
+		return fmt.Errorf("%dx%d: %w", a.Rows, a.Cols, ErrEmptyMatrix)
+	}
+	if !a.IsSquare() {
+		return fmt.Errorf("%dx%d: %w", a.Rows, a.Cols, ErrNotSquare)
+	}
+	return nil
+}

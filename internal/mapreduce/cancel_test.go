@@ -1,0 +1,109 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dfs"
+)
+
+func TestRunCtxPreCanceled(t *testing.T) {
+	fs := dfs.New(2, 1)
+	c := NewCluster(fs, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	_, err := c.RunCtx(ctx, &Job{
+		Name:   "pre-canceled",
+		Splits: ControlSplits(2),
+		Map: func(tc *TaskContext, s InputSplit, e Emitter) error {
+			ran.Add(1)
+			return nil
+		},
+	})
+	if !errors.Is(err, ErrJobCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrJobCanceled wrapping context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d map tasks ran on a pre-canceled job", ran.Load())
+	}
+}
+
+func TestRunCtxCancelMidJob(t *testing.T) {
+	fs := dfs.New(2, 1)
+	c := NewCluster(fs, 1) // one slot: tasks strictly sequential
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int64
+	_, err := c.RunCtx(ctx, &Job{
+		Name:   "cancel-mid",
+		Splits: ControlSplits(16),
+		Map: func(tc *TaskContext, s InputSplit, e Emitter) error {
+			if ran.Add(1) == 1 {
+				cancel() // cancel while the phase still has 15 tasks queued
+			}
+			time.Sleep(time.Millisecond)
+			return nil
+		},
+	})
+	if !errors.Is(err, ErrJobCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrJobCanceled wrapping context.Canceled", err)
+	}
+	// Cooperative cancel: the running attempt finishes, queued ones do not.
+	if got := ran.Load(); got >= 16 {
+		t.Fatalf("all %d tasks ran despite cancellation", got)
+	}
+}
+
+func TestRunCtxDeadlineBetweenPhases(t *testing.T) {
+	fs := dfs.New(2, 1)
+	c := NewCluster(fs, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var reduced atomic.Int64
+	_, err := c.RunCtx(ctx, &Job{
+		Name:      "cancel-at-shuffle",
+		Splits:    ControlSplits(2),
+		NumReduce: 2,
+		Map: func(tc *TaskContext, s InputSplit, e Emitter) error {
+			e.Emit("k", []byte("v"))
+			if tc.TaskID == 0 {
+				cancel()
+			}
+			return nil
+		},
+		Reduce: func(tc *TaskContext, key string, vs [][]byte, e Emitter) error {
+			reduced.Add(1)
+			return nil
+		},
+	})
+	if !errors.Is(err, ErrJobCanceled) {
+		t.Fatalf("err = %v, want ErrJobCanceled", err)
+	}
+	if reduced.Load() != 0 {
+		t.Fatal("reduce phase ran after cancellation during map")
+	}
+}
+
+func TestRunBackgroundUnaffected(t *testing.T) {
+	// Run (no ctx) must behave exactly as before the RunCtx refactor.
+	fs := dfs.New(2, 1)
+	c := NewCluster(fs, 2)
+	res, err := c.Run(&Job{
+		Name:   "plain",
+		Splits: ControlSplits(4),
+		Map: func(tc *TaskContext, s InputSplit, e Emitter) error {
+			e.Emit(s.Path, nil)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MapTasks != 4 || len(res.Output) != 4 {
+		t.Fatalf("map tasks %d, output %d", res.MapTasks, len(res.Output))
+	}
+}

@@ -18,6 +18,7 @@
 package mapreduce
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -32,6 +33,12 @@ import (
 
 // ErrTooManyFailures is returned when a task exhausts its attempts.
 var ErrTooManyFailures = errors.New("mapreduce: task failed too many times")
+
+// ErrJobCanceled is returned by RunCtx when the job's context is canceled
+// or its deadline expires before the job completes. The underlying
+// context error (context.Canceled or context.DeadlineExceeded) is wrapped
+// alongside it, so errors.Is matches either.
+var ErrJobCanceled = errors.New("mapreduce: job canceled")
 
 // KV is one key/value pair flowing through the shuffle.
 type KV struct {
@@ -230,6 +237,25 @@ func (c *Cluster) jobSpan(job *Job) *obs.Span {
 
 // Run executes the job to completion and returns its result.
 func (c *Cluster) Run(job *Job) (*JobResult, error) {
+	return c.RunCtx(context.Background(), job)
+}
+
+// cancelErr wraps a context error so callers can match either the engine's
+// ErrJobCanceled or the underlying context sentinel.
+func cancelErr(jobName string, cause error) error {
+	return fmt.Errorf("mapreduce: job %s: %w (%w)", jobName, ErrJobCanceled, cause)
+}
+
+// RunCtx executes the job to completion unless ctx is canceled first.
+// Cancellation is cooperative, in the Hadoop kill-job style: it is
+// observed before the job starts, between the map, shuffle, and reduce
+// phases, and between task launches inside a phase — a task attempt that
+// has already started runs to completion (its output is simply discarded),
+// exactly like a task JVM that has not yet processed its kill signal.
+func (c *Cluster) RunCtx(ctx context.Context, job *Job) (*JobResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, cancelErr(job.Name, err)
+	}
 	start := time.Now()
 	jobSpan := c.jobSpan(job)
 	var fsBefore dfs.Stats
@@ -253,7 +279,7 @@ func (c *Cluster) Run(job *Job) (*JobResult, error) {
 
 	// ---- Map phase ----
 	mapSpan := jobSpan.Child("map", obs.KindPhase)
-	mapPhase, err := c.runPhaseLocal(len(job.Splits), maxAttempts, job.Prefer, mapSpan, "map", func(i, attempt, node int) (any, map[string]int64, error) {
+	mapPhase, err := c.runPhaseLocal(ctx, len(job.Splits), maxAttempts, job.Prefer, mapSpan, "map", func(i, attempt, node int) (any, map[string]int64, error) {
 		if c.InjectFailure != nil {
 			if ferr := c.InjectFailure(job.Name, i, attempt, true); ferr != nil {
 				return nil, nil, ferr
@@ -307,6 +333,12 @@ func (c *Cluster) Run(job *Job) (*JobResult, error) {
 	}
 
 	// ---- Shuffle ----
+	if cerr := ctx.Err(); cerr != nil {
+		err = cancelErr(job.Name, cerr)
+		jobSpan.SetLabel("error", err.Error())
+		jobSpan.Finish()
+		return nil, err
+	}
 	// Partition map output; within each partition group values by key.
 	// Iterating map tasks in index order keeps grouped values in a
 	// deterministic order independent of scheduling.
@@ -332,7 +364,7 @@ func (c *Cluster) Run(job *Job) (*JobResult, error) {
 
 	// ---- Reduce phase ----
 	redSpan := jobSpan.Child("reduce", obs.KindPhase)
-	redPhase, err := c.runPhaseLocal(job.NumReduce, maxAttempts, nil, redSpan, "reduce", func(r, attempt, node int) (any, map[string]int64, error) {
+	redPhase, err := c.runPhaseLocal(ctx, job.NumReduce, maxAttempts, nil, redSpan, "reduce", func(r, attempt, node int) (any, map[string]int64, error) {
 		if c.InjectFailure != nil {
 			if ferr := c.InjectFailure(job.Name, r, attempt, false); ferr != nil {
 				return nil, nil, ferr
@@ -440,8 +472,10 @@ type phaseResult struct {
 // speculative execution. Only the first successful attempt of a task
 // publishes its result and counters. When phaseSpan is non-nil, every
 // attempt records a task span (named "<label>:<task>") on its node's
-// track.
-func (c *Cluster) runPhaseLocal(n, maxAttempts int, prefer func(task int) []int, phaseSpan *obs.Span, label string, run taskFn) (*phaseResult, error) {
+// track. Cancellation of ctx stops workers from launching further task
+// attempts; attempts already running finish in the background without
+// touching the phase result.
+func (c *Cluster) runPhaseLocal(ctx context.Context, n, maxAttempts int, prefer func(task int) []int, phaseSpan *obs.Span, label string, run taskFn) (*phaseResult, error) {
 	pr := &phaseResult{results: make([]any, n), counters: map[string]int64{}}
 	if n == 0 {
 		return pr, nil
@@ -492,6 +526,8 @@ func (c *Cluster) runPhaseLocal(n, maxAttempts int, prefer func(task int) []int,
 			for {
 				select {
 				case <-stop:
+					return
+				case <-ctx.Done():
 					return
 				case t := <-work:
 					mu.Lock()
@@ -620,17 +656,26 @@ func (c *Cluster) runPhaseLocal(n, maxAttempts int, prefer func(task int) []int,
 		}()
 	}
 
-	// Wait for the phase outcome (all tasks done, or a fatal failure) —
-	// not for every attempt goroutine: a superseded straggler keeps
-	// running in the background like a Hadoop attempt awaiting its kill,
-	// but the `closed` flag bars it from touching the phase result.
-	<-stop
+	// Wait for the phase outcome (all tasks done, a fatal failure, or
+	// cancellation) — not for every attempt goroutine: a superseded
+	// straggler keeps running in the background like a Hadoop attempt
+	// awaiting its kill, but the `closed` flag bars it from touching the
+	// phase result.
+	select {
+	case <-stop:
+	case <-ctx.Done():
+		closeStop()
+	}
 	mu.Lock()
 	closed = true
 	f := fatal
+	incomplete := remaining > 0
 	mu.Unlock()
 	if f != nil {
 		return pr, f
+	}
+	if cerr := ctx.Err(); cerr != nil && incomplete {
+		return pr, fmt.Errorf("%w (%w)", ErrJobCanceled, cerr)
 	}
 	return pr, nil
 }

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/matrix"
+)
+
+// resultCache is a byte-budgeted LRU of computed inverses keyed by request
+// digest. Matrices handed out by Get are shared — callers must treat them
+// as immutable (the serving layer only serializes them).
+type resultCache struct {
+	mu     sync.Mutex
+	budget int64 // <= 0 disables the cache entirely
+	used   int64
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key   string
+	inv   *matrix.Dense
+	bytes int64
+}
+
+func newResultCache(budget int64) *resultCache {
+	return &resultCache{budget: budget, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached inverse for key, promoting it to most recently
+// used.
+func (c *resultCache) Get(key string) (*matrix.Dense, bool) {
+	if c == nil || c.budget <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).inv, true
+}
+
+// Put inserts (or refreshes) key's inverse and evicts from the LRU tail
+// until the byte budget holds again. It returns how many entries were
+// evicted. An inverse bigger than the whole budget is not admitted —
+// caching it would just flush everything else.
+func (c *resultCache) Put(key string, inv *matrix.Dense) (evicted int) {
+	if c == nil || c.budget <= 0 {
+		return 0
+	}
+	sz := matrixBytes(inv)
+	if sz > c.budget {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		c.used += sz - e.bytes
+		e.inv, e.bytes = inv, sz
+	} else {
+		el := c.ll.PushFront(&cacheEntry{key: key, inv: inv, bytes: sz})
+		c.items[key] = el
+		c.used += sz
+	}
+	for c.used > c.budget {
+		tail := c.ll.Back()
+		if tail == nil {
+			break
+		}
+		e := tail.Value.(*cacheEntry)
+		c.ll.Remove(tail)
+		delete(c.items, e.key)
+		c.used -= e.bytes
+		evicted++
+	}
+	return evicted
+}
+
+// Len returns the number of cached inverses.
+func (c *resultCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes returns the bytes currently charged against the budget.
+func (c *resultCache) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}

@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+
+	"repro/internal/matrix"
+)
+
+// requestKey identifies an inversion request for deduplication and result
+// caching: two requests share a key exactly when they would produce the
+// bit-identical inverse. That means the key covers the input matrix and
+// every pipeline parameter that changes the floating-point evaluation
+// order (nb and the node count change the block recursion; the Section 6
+// toggles change the kernels), not just the matrix bytes.
+func requestKey(a *matrix.Dense, nodes, nb int, separate, wrap, transpose, stream bool) string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(a.Rows))
+	put(uint64(a.Cols))
+	for _, v := range a.Data {
+		put(math.Float64bits(v))
+	}
+	put(uint64(nodes))
+	put(uint64(nb))
+	var flags uint64
+	for i, b := range []bool{separate, wrap, transpose, stream} {
+		if b {
+			flags |= 1 << uint(i)
+		}
+	}
+	put(flags)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// matrixBytes is the in-memory footprint a cached inverse is charged
+// against the cache's byte budget: the float64 payload plus the header.
+func matrixBytes(m *matrix.Dense) int64 {
+	return int64(len(m.Data))*8 + 16
+}

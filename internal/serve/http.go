@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mapreduce"
+	"repro/internal/matrix"
+)
+
+// DefaultMaxBodyBytes bounds the request body (a binary matrix): 64 MiB
+// holds an order-2896 double matrix, far beyond simulation scale.
+const DefaultMaxBodyBytes = 64 << 20
+
+// NewHandler exposes the server over HTTP:
+//
+//	POST /invert    body = matrix (binary by default, text with
+//	                Content-Type: text/plain); query params timeout
+//	                (Go duration), nodes, nb. Responds with the inverse
+//	                in the same format, plus X-Source/X-Jobs headers.
+//	GET  /healthz   liveness (503 while draining)
+//	GET  /statz     JSON serving stats
+//	GET  /metricz   plain-text metrics registry
+//
+// Error mapping: invalid input 400, queue overflow 429, draining 503,
+// deadline/cancellation 504, singular input 422, body too large 413.
+func NewHandler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/invert", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		s.handleInvert(w, r)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Snapshot().Draining {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/statz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.Snapshot())
+	})
+	mux.HandleFunc("/metricz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.met.Render(w)
+	})
+	return mux
+}
+
+func (s *Server) handleInvert(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	req := Request{}
+	var err error
+	if v := q.Get("nodes"); v != "" {
+		if req.Nodes, err = strconv.Atoi(v); err != nil {
+			http.Error(w, "bad nodes: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	if v := q.Get("nb"); v != "" {
+		if req.NB, err = strconv.Atoi(v); err != nil {
+			http.Error(w, "bad nb: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	ctx := r.Context()
+	if v := q.Get("timeout"); v != "" {
+		d, derr := time.ParseDuration(v)
+		if derr != nil {
+			http.Error(w, "bad timeout: "+derr.Error(), http.StatusBadRequest)
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+
+	text := strings.HasPrefix(r.Header.Get("Content-Type"), "text/plain")
+	body := http.MaxBytesReader(w, r.Body, DefaultMaxBodyBytes)
+	var a *matrix.Dense
+	if text {
+		a, err = matrix.ReadText(body)
+	} else {
+		a, err = matrix.ReadBinary(body)
+	}
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "unreadable matrix: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	req.A = a
+
+	res, err := s.Do(ctx, req)
+	if err != nil {
+		writeDoError(w, err)
+		return
+	}
+	w.Header().Set("X-Source", res.Source)
+	if res.Rep != nil {
+		w.Header().Set("X-Jobs", strconv.Itoa(res.Rep.JobsRun))
+		w.Header().Set("X-Elapsed", res.Rep.Elapsed.String())
+	}
+	if text {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		err = matrix.WriteText(w, res.Inv)
+	} else {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		err = matrix.WriteBinary(w, res.Inv)
+	}
+	_ = err // headers are out; nothing sensible left to report
+}
+
+// writeDoError maps a serving error to its HTTP status. The typed
+// validation sentinels become 400s — client mistakes, not server faults.
+func writeDoError(w http.ResponseWriter, err error) {
+	var status int
+	switch {
+	case errors.Is(err, core.ErrNilMatrix),
+		errors.Is(err, core.ErrEmptyMatrix),
+		errors.Is(err, core.ErrNotSquare),
+		errors.Is(err, core.ErrBadOptions):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, mapreduce.ErrJobCanceled):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, core.ErrSingularBlock):
+		status = http.StatusUnprocessableEntity
+	default:
+		status = http.StatusInternalServerError
+	}
+	http.Error(w, err.Error(), status)
+}

@@ -1,0 +1,434 @@
+// Package serve is the inversion-as-a-service layer: it multiplexes many
+// concurrent inversion requests onto one simulated MapReduce cluster,
+// owning the request lifecycle the batch API does not have — bounded
+// admission with backpressure, singleflight deduplication of identical
+// in-flight matrices, a digest-keyed LRU cache of computed inverses,
+// per-request deadlines threaded as context cancellation down to the job
+// loop, and graceful drain on shutdown.
+//
+// The substitution argument mirrors the rest of the repository: a real
+// deployment would put a cluster front-end (YARN gateway, job server) in
+// front of shared Hadoop capacity; here a goroutine worker pool stands in
+// for the front-end and the simulated cluster for the shared capacity.
+// The control-plane decisions — admit, reject, dedup, cache, cancel,
+// drain — are the real thing.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/mapreduce"
+	"repro/internal/matrix"
+	"repro/internal/obs"
+)
+
+// ErrOverloaded reports that the admission queue is full; the caller
+// should back off and retry (HTTP 429).
+var ErrOverloaded = errors.New("serve: admission queue full")
+
+// ErrDraining reports that the server is shutting down and accepts no new
+// requests (HTTP 503).
+var ErrDraining = errors.New("serve: server draining")
+
+// Config sizes the serving layer.
+type Config struct {
+	// Concurrency is the number of pipelines executed at once (worker
+	// goroutines). Default 2.
+	Concurrency int
+	// QueueDepth bounds how many admitted requests may wait beyond the
+	// ones executing; an arrival finding the queue full is rejected with
+	// ErrOverloaded. Default 16.
+	QueueDepth int
+	// CacheBytes is the inverse-result cache budget; <= 0 disables
+	// caching.
+	CacheBytes int64
+	// DefaultTimeout is applied to requests whose context carries no
+	// deadline; 0 means no default.
+	DefaultTimeout time.Duration
+	// Opts is the base pipeline configuration (cluster shape, nb,
+	// Section 6 toggles). A zero value selects core.DefaultOptions(8).
+	Opts core.Options
+	// Metrics receives serving and engine counters; one is created when
+	// nil.
+	Metrics *obs.Registry
+}
+
+// Request is one inversion to perform. Nodes and NB, when non-zero,
+// override the server's base options for this request (and take part in
+// the dedup/cache key).
+type Request struct {
+	A     *matrix.Dense
+	Nodes int
+	NB    int
+}
+
+// Result is a completed inversion.
+type Result struct {
+	Inv *matrix.Dense // shared with the cache and other waiters: read-only
+	Rep *core.Report  // nil on a cache hit
+	// Source tells how the result was obtained: "pipeline" (this request
+	// led the computation), "dedup" (attached to an identical in-flight
+	// request), or "cache".
+	Source string
+}
+
+// flight is one in-progress pipeline run shared by every concurrent
+// request with the same key. Its execution context stays alive while at
+// least one participant is still interested; when the last waiter leaves,
+// the run is canceled at the next job boundary.
+type flight struct {
+	key      string
+	a        *matrix.Dense
+	opts     core.Options
+	enqueued time.Time
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+	inv    *matrix.Dense
+	rep    *core.Report
+	err    error
+
+	mu   sync.Mutex
+	refs int
+}
+
+func (f *flight) acquire() {
+	f.mu.Lock()
+	f.refs++
+	f.mu.Unlock()
+}
+
+func (f *flight) release() {
+	f.mu.Lock()
+	f.refs--
+	last := f.refs == 0
+	f.mu.Unlock()
+	if last {
+		f.cancel()
+	}
+}
+
+// Server multiplexes inversion requests onto one simulated cluster.
+type Server struct {
+	cfg     Config
+	fs      *dfs.FS
+	cluster *mapreduce.Cluster
+	met     *obs.Registry
+	cache   *resultCache
+
+	queue    chan *flight
+	stop     chan struct{}
+	workers  sync.WaitGroup
+	inflight sync.WaitGroup
+	seq      atomic.Int64
+
+	mu       sync.Mutex
+	flights  map[string]*flight
+	draining bool
+}
+
+// New builds a server with its own simulated cluster and starts its
+// workers. Callers must Drain (or Close) it when done.
+func New(cfg Config) (*Server, error) {
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.Opts.Nodes == 0 && cfg.Opts.NB == 0 {
+		cfg.Opts = core.DefaultOptions(8)
+		cfg.Opts.NB = 64
+	}
+	if err := cfg.Opts.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	fs := dfs.New(cfg.Opts.Nodes, dfs.DefaultReplication)
+	cl := mapreduce.NewCluster(fs, cfg.Opts.Nodes)
+	cl.Metrics = cfg.Metrics
+	fs.SetMetrics(cfg.Metrics)
+	s := &Server{
+		cfg:     cfg,
+		fs:      fs,
+		cluster: cl,
+		met:     cfg.Metrics,
+		cache:   newResultCache(cfg.CacheBytes),
+		queue:   make(chan *flight, cfg.QueueDepth),
+		stop:    make(chan struct{}),
+		flights: make(map[string]*flight),
+	}
+	for i := 0; i < cfg.Concurrency; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Metrics returns the server's registry.
+func (s *Server) Metrics() *obs.Registry { return s.met }
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// optsFor resolves the effective pipeline options for a request: the base
+// configuration with per-request overrides and a unique work directory.
+func (s *Server) optsFor(req Request) (core.Options, error) {
+	opts := s.cfg.Opts
+	if req.Nodes > 0 {
+		opts.Nodes = req.Nodes
+	}
+	if req.NB > 0 {
+		opts.NB = req.NB
+	}
+	opts.Root = fmt.Sprintf("srv/r%06d", s.seq.Add(1))
+	err := opts.Validate()
+	return opts, err
+}
+
+// Do runs one inversion request through the serving lifecycle:
+// validation, deadline check, cache lookup, singleflight join, bounded
+// admission, pipeline execution, cache fill. It is safe for concurrent
+// use.
+func (s *Server) Do(ctx context.Context, req Request) (*Result, error) {
+	start := time.Now()
+	s.met.Counter("serve.requests").Add(1)
+	if err := core.ValidateInput(req.A); err != nil {
+		s.met.Counter("serve.invalid").Add(1)
+		return nil, err
+	}
+	opts, err := s.optsFor(req)
+	if err != nil {
+		s.met.Counter("serve.invalid").Add(1)
+		return nil, err
+	}
+	if s.cfg.DefaultTimeout > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultTimeout)
+			defer cancel()
+		}
+	}
+	// An already-dead request must not touch the cluster at all.
+	if err := ctx.Err(); err != nil {
+		s.met.Counter("serve.expired").Add(1)
+		return nil, err
+	}
+	// A draining server refuses all new work, cache hits included, so
+	// callers move to another instance instead of lingering.
+	if s.isDraining() {
+		s.met.Counter("serve.drain_rejected").Add(1)
+		return nil, ErrDraining
+	}
+	key := requestKey(req.A, opts.Nodes, opts.NB,
+		opts.SeparateFiles, opts.BlockWrap, opts.TransposeU, opts.StreamingInversion)
+	if inv, ok := s.cache.Get(key); ok {
+		s.met.Counter("serve.cache_hits").Add(1)
+		s.met.Histogram("serve.e2e_latency").Observe(time.Since(start))
+		return &Result{Inv: inv, Source: "cache"}, nil
+	}
+	s.met.Counter("serve.cache_misses").Add(1)
+
+	f, leader, err := s.join(key, req.A, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer f.release()
+	source := "pipeline"
+	if !leader {
+		s.met.Counter("serve.dedup_hits").Add(1)
+		source = "dedup"
+	}
+
+	select {
+	case <-ctx.Done():
+		s.met.Counter("serve.canceled").Add(1)
+		return nil, ctx.Err()
+	case <-f.done:
+	}
+	if f.err != nil {
+		s.met.Counter("serve.failed").Add(1)
+		return nil, f.err
+	}
+	s.met.Counter("serve.completed").Add(1)
+	s.met.Histogram("serve.e2e_latency").Observe(time.Since(start))
+	return &Result{Inv: f.inv, Rep: f.rep, Source: source}, nil
+}
+
+// join attaches the request to an identical in-flight computation, or
+// creates one and submits it to the bounded admission queue. Waiters on an
+// existing flight never consume a queue slot — deduplication is free
+// capacity.
+func (s *Server) join(key string, a *matrix.Dense, opts core.Options) (*flight, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.met.Counter("serve.drain_rejected").Add(1)
+		return nil, false, ErrDraining
+	}
+	if f, ok := s.flights[key]; ok {
+		f.acquire()
+		return f, false, nil
+	}
+	fctx, cancel := context.WithCancel(context.Background())
+	f := &flight{key: key, a: a, opts: opts, ctx: fctx, cancel: cancel,
+		done: make(chan struct{}), refs: 1, enqueued: time.Now()}
+	select {
+	case s.queue <- f:
+	default:
+		cancel()
+		s.met.Counter("serve.rejected").Add(1)
+		return nil, false, ErrOverloaded
+	}
+	s.flights[key] = f
+	s.inflight.Add(1)
+	s.met.Counter("serve.admitted").Add(1)
+	s.met.Gauge("serve.queue_depth").Set(int64(len(s.queue)))
+	return f, true, nil
+}
+
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case f := <-s.queue:
+			s.execute(f)
+		}
+	}
+}
+
+// execute runs one flight's pipeline on the shared cluster, fills the
+// cache, and publishes the result to every waiter.
+func (s *Server) execute(f *flight) {
+	defer s.inflight.Done()
+	s.met.Gauge("serve.queue_depth").Set(int64(len(s.queue)))
+	s.met.Histogram("serve.queue_wait").Observe(time.Since(f.enqueued))
+	if err := f.ctx.Err(); err != nil {
+		// Every waiter left while the flight sat in the queue.
+		f.err = err
+	} else if p, perr := core.NewPipelineOn(f.opts, s.fs, s.cluster); perr != nil {
+		f.err = perr
+	} else {
+		begin := time.Now()
+		f.inv, f.rep, f.err = p.InvertCtx(f.ctx, f.a)
+		s.met.Histogram("serve.pipeline_latency").Observe(time.Since(begin))
+	}
+	// The run's intermediate files are dead weight on the shared DFS.
+	s.fs.DeleteTree(f.opts.Root)
+	if f.err == nil {
+		s.met.Counter("serve.cache_evictions").Add(int64(s.cache.Put(f.key, f.inv)))
+	}
+	s.mu.Lock()
+	delete(s.flights, f.key)
+	s.mu.Unlock()
+	close(f.done)
+}
+
+// Drain stops admission, waits (bounded by ctx) for in-flight work to
+// finish, then stops the workers. Requests still queued when ctx expires
+// are failed with ErrDraining. Drain is idempotent; after it returns the
+// server accepts no work.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if already {
+		return nil
+	}
+	finished := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(finished)
+	}()
+	var err error
+	select {
+	case <-finished:
+	case <-ctx.Done():
+		err = ctx.Err()
+		// Fail whatever is still queued so no waiter hangs.
+		for {
+			select {
+			case f := <-s.queue:
+				f.err = ErrDraining
+				s.mu.Lock()
+				delete(s.flights, f.key)
+				s.mu.Unlock()
+				close(f.done)
+				s.inflight.Done()
+			default:
+				close(s.stop)
+				s.workers.Wait()
+				return err
+			}
+		}
+	}
+	close(s.stop)
+	s.workers.Wait()
+	return err
+}
+
+// Close drains with a short grace period.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return s.Drain(ctx)
+}
+
+// Stats is a point-in-time snapshot of the serving layer for /statz.
+type Stats struct {
+	QueueDepth   int   `json:"queue_depth"`
+	QueueCap     int   `json:"queue_cap"`
+	CacheEntries int   `json:"cache_entries"`
+	CacheBytes   int64 `json:"cache_bytes"`
+	CacheBudget  int64 `json:"cache_budget"`
+	Requests     int64 `json:"requests"`
+	Admitted     int64 `json:"admitted"`
+	Rejected     int64 `json:"rejected"`
+	DedupHits    int64 `json:"dedup_hits"`
+	CacheHits    int64 `json:"cache_hits"`
+	Completed    int64 `json:"completed"`
+	Failed       int64 `json:"failed"`
+	Canceled     int64 `json:"canceled"`
+	Expired      int64 `json:"expired"`
+	Draining     bool  `json:"draining"`
+}
+
+// Snapshot returns current serving stats.
+func (s *Server) Snapshot() Stats {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	return Stats{
+		QueueDepth:   len(s.queue),
+		QueueCap:     cap(s.queue),
+		CacheEntries: s.cache.Len(),
+		CacheBytes:   s.cache.Bytes(),
+		CacheBudget:  s.cfg.CacheBytes,
+		Requests:     s.met.Counter("serve.requests").Value(),
+		Admitted:     s.met.Counter("serve.admitted").Value(),
+		Rejected:     s.met.Counter("serve.rejected").Value(),
+		DedupHits:    s.met.Counter("serve.dedup_hits").Value(),
+		CacheHits:    s.met.Counter("serve.cache_hits").Value(),
+		Completed:    s.met.Counter("serve.completed").Value(),
+		Failed:       s.met.Counter("serve.failed").Value(),
+		Canceled:     s.met.Counter("serve.canceled").Value(),
+		Expired:      s.met.Counter("serve.expired").Value(),
+		Draining:     draining,
+	}
+}

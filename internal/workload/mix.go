@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/matrix"
+)
+
+// This file generates serving workloads: streams of inversion requests
+// with a weighted size distribution and a controlled duplicate rate, the
+// knobs that exercise a serving layer's admission, dedup, and cache
+// paths. Streams are deterministic under a seed so a benchmark run is
+// reproducible request-for-request.
+
+// RequestSpec describes one generated request: a matrix identified by
+// (Order, Seed). Two specs with equal fields materialize bit-identical
+// matrices, which is what makes duplicates dedupable server-side.
+type RequestSpec struct {
+	Order int
+	Seed  int64
+	// Dup marks specs that were drawn from the duplicate history rather
+	// than freshly generated.
+	Dup bool
+}
+
+// Build materializes the request's matrix: diagonally dominant, hence
+// guaranteed invertible and well conditioned at serving scale.
+func (r RequestSpec) Build() *matrix.Dense {
+	return DiagonallyDominant(r.Order, r.Seed)
+}
+
+// MixEntry weights one matrix order in a request mix.
+type MixEntry struct {
+	Order  int
+	Weight float64
+}
+
+// Mix is a request-mix distribution: weighted matrix sizes plus a
+// duplicate probability. With probability DupProb a request repeats one of
+// the previous History requests (same order and seed); otherwise it draws
+// a fresh seed.
+type Mix struct {
+	Entries []MixEntry
+	DupProb float64
+	History int // duplicate look-back window; default 8
+}
+
+// DefaultMix is a serving-scale mix: mostly small matrices with a heavy
+// tail, one request in four repeating recent work.
+func DefaultMix() Mix {
+	return Mix{
+		Entries: []MixEntry{{Order: 24, Weight: 0.5}, {Order: 40, Weight: 0.3}, {Order: 64, Weight: 0.2}},
+		DupProb: 0.25,
+		History: 8,
+	}
+}
+
+// ParseMix parses "order:weight,order:weight,..." (e.g. "32:5,64:3,128:2").
+// Weights need not sum to 1; they are normalized on use.
+func ParseMix(s string) ([]MixEntry, error) {
+	var out []MixEntry
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		ow := strings.SplitN(part, ":", 2)
+		if len(ow) != 2 {
+			return nil, fmt.Errorf("workload: mix entry %q: want order:weight", part)
+		}
+		order, err := strconv.Atoi(strings.TrimSpace(ow[0]))
+		if err != nil || order < 1 {
+			return nil, fmt.Errorf("workload: mix entry %q: bad order", part)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(ow[1]), 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("workload: mix entry %q: bad weight", part)
+		}
+		out = append(out, MixEntry{Order: order, Weight: w})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("workload: empty mix %q", s)
+	}
+	return out, nil
+}
+
+// MixStream draws a deterministic sequence of RequestSpecs from a Mix.
+type MixStream struct {
+	mix    Mix
+	rng    *rand.Rand
+	cum    []float64 // cumulative normalized weights, aligned with Entries
+	recent []RequestSpec
+}
+
+// Stream starts a request stream; equal (mix, seed) pairs yield equal
+// request sequences.
+func (m Mix) Stream(seed int64) *MixStream {
+	if m.History <= 0 {
+		m.History = 8
+	}
+	if len(m.Entries) == 0 {
+		m.Entries = DefaultMix().Entries
+	}
+	// Sort by order so the cumulative table (and hence the stream) does
+	// not depend on caller-side entry ordering of the same distribution.
+	entries := append([]MixEntry(nil), m.Entries...)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Order < entries[j].Order })
+	m.Entries = entries
+	var total float64
+	for _, e := range m.Entries {
+		total += e.Weight
+	}
+	cum := make([]float64, len(m.Entries))
+	acc := 0.0
+	for i, e := range m.Entries {
+		acc += e.Weight / total
+		cum[i] = acc
+	}
+	return &MixStream{mix: m, rng: rand.New(rand.NewSource(seed)), cum: cum}
+}
+
+// Next draws the next request of the stream.
+func (st *MixStream) Next() RequestSpec {
+	if len(st.recent) > 0 && st.rng.Float64() < st.mix.DupProb {
+		spec := st.recent[st.rng.Intn(len(st.recent))]
+		spec.Dup = true
+		return spec
+	}
+	u := st.rng.Float64()
+	order := st.mix.Entries[len(st.mix.Entries)-1].Order
+	for i, c := range st.cum {
+		if u <= c {
+			order = st.mix.Entries[i].Order
+			break
+		}
+	}
+	spec := RequestSpec{Order: order, Seed: st.rng.Int63()}
+	st.recent = append(st.recent, spec)
+	if len(st.recent) > st.mix.History {
+		st.recent = st.recent[1:]
+	}
+	return spec
+}
+
+// Take draws the next n requests.
+func (st *MixStream) Take(n int) []RequestSpec {
+	out := make([]RequestSpec, n)
+	for i := range out {
+		out[i] = st.Next()
+	}
+	return out
+}

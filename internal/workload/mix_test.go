@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestMixStreamDeterministic(t *testing.T) {
+	mix := Mix{Entries: []MixEntry{{32, 5}, {64, 3}, {128, 2}}, DupProb: 0.3}
+	a := mix.Stream(42).Take(200)
+	b := mix.Stream(42).Take(200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs under same seed: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := mix.Stream(43).Take(200)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestMixStreamEntryOrderIrrelevant(t *testing.T) {
+	// The same distribution written in a different entry order must give
+	// the same stream — reproducibility should not hinge on flag order.
+	m1 := Mix{Entries: []MixEntry{{32, 5}, {64, 3}}, DupProb: 0.2}
+	m2 := Mix{Entries: []MixEntry{{64, 3}, {32, 5}}, DupProb: 0.2}
+	a, b := m1.Stream(7).Take(100), m2.Stream(7).Take(100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d depends on entry order: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMixStreamRespectsOrdersAndDuplicates(t *testing.T) {
+	mix := Mix{Entries: []MixEntry{{16, 1}, {24, 1}}, DupProb: 0.5, History: 4}
+	specs := mix.Stream(1).Take(400)
+	seen := map[RequestSpec]bool{}
+	dups := 0
+	for _, sp := range specs {
+		if sp.Order != 16 && sp.Order != 24 {
+			t.Fatalf("order %d not in mix", sp.Order)
+		}
+		if sp.Dup {
+			dups++
+			fresh := sp
+			fresh.Dup = false
+			if !seen[fresh] {
+				t.Fatalf("duplicate %+v never issued fresh", sp)
+			}
+		} else {
+			seen[sp] = true
+		}
+	}
+	if dups == 0 {
+		t.Fatal("DupProb 0.5 produced no duplicates in 400 requests")
+	}
+	if dups > 300 {
+		t.Fatalf("implausible duplicate count %d/400", dups)
+	}
+}
+
+func TestMixZeroDupProbHasNoDuplicates(t *testing.T) {
+	mix := Mix{Entries: []MixEntry{{16, 1}}, DupProb: 0}
+	for _, sp := range mix.Stream(9).Take(100) {
+		if sp.Dup {
+			t.Fatal("duplicate emitted with DupProb 0")
+		}
+	}
+}
+
+func TestRequestSpecBuildDeterministic(t *testing.T) {
+	a := RequestSpec{Order: 24, Seed: 11}.Build()
+	b := RequestSpec{Order: 24, Seed: 11}.Build()
+	if !matrix.Equal(a, b, 0) {
+		t.Fatal("same spec built different matrices")
+	}
+	if a.Rows != 24 || a.Cols != 24 {
+		t.Fatalf("dims %dx%d", a.Rows, a.Cols)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	entries, err := ParseMix(" 32:5, 64:3 ,128:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 || entries[0].Order != 32 || entries[2].Weight != 2 {
+		t.Fatalf("parsed %+v", entries)
+	}
+	for _, bad := range []string{"", "32", "0:1", "32:-1", "x:y"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Fatalf("ParseMix(%q) accepted", bad)
+		}
+	}
+}

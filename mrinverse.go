@@ -33,6 +33,7 @@
 package mrinverse
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -103,20 +104,49 @@ func Random(n int, seed int64) *Matrix { return workload.Random(n, seed) }
 // guaranteed nonsingular and well conditioned.
 func DiagonallyDominant(n int, seed int64) *Matrix { return workload.DiagonallyDominant(n, seed) }
 
+// Input-validation sentinels: every inverter entry point of this package
+// rejects nil, empty, and rectangular inputs with one of these typed
+// errors (test with errors.Is). Serving layers map them to client errors
+// (HTTP 400) rather than internal failures.
+var (
+	ErrNilMatrix   = core.ErrNilMatrix
+	ErrEmptyMatrix = core.ErrEmptyMatrix
+	ErrNotSquare   = core.ErrNotSquare
+)
+
+// ValidateInput checks that a is a usable inversion input — non-nil,
+// non-empty, square — returning one of the sentinel errors otherwise.
+func ValidateInput(a *Matrix) error { return core.ValidateInput(a) }
+
 // Invert computes A^-1 with the paper's MapReduce pipeline on a fresh
 // simulated cluster and returns the run report alongside the inverse.
 func Invert(a *Matrix, opts Options) (*Matrix, *Report, error) {
+	return InvertCtx(context.Background(), a, opts)
+}
+
+// InvertCtx is Invert with a deadline/cancellation context: the pipeline
+// observes ctx cooperatively between MapReduce jobs and phases, so a
+// canceled or expired request stops consuming the simulated cluster at the
+// next job boundary. An already-expired ctx returns before any cluster
+// work is scheduled.
+func InvertCtx(ctx context.Context, a *Matrix, opts Options) (*Matrix, *Report, error) {
+	if err := core.ValidateInput(a); err != nil {
+		return nil, nil, err
+	}
 	p, err := core.NewPipeline(opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	return p.Invert(a)
+	return p.InvertCtx(ctx, a)
 }
 
 // InvertObserved is Invert with observability attached: spans land in tr
 // and counters in met (either may be nil). The returned Report's Trace
 // field holds the run's root span.
 func InvertObserved(a *Matrix, opts Options, tr *Tracer, met *Metrics) (*Matrix, *Report, error) {
+	if err := core.ValidateInput(a); err != nil {
+		return nil, nil, err
+	}
 	p, err := core.NewPipeline(opts)
 	if err != nil {
 		return nil, nil, err
