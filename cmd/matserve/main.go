@@ -68,7 +68,12 @@ func main() {
 		if derr := srv.Drain(ctx); derr != nil {
 			log.Printf("drain: %v", derr)
 		}
-		hs.Shutdown(ctx)
+		// A full-grace Drain exhausts ctx; give the HTTP listener its own
+		// short window so in-flight responses can still flush instead of
+		// being force-closed immediately.
+		sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer scancel()
+		hs.Shutdown(sctx)
 	}()
 
 	log.Printf("matserve listening on %s (nodes=%d nb=%d concurrency=%d queue=%d cache=%dMiB)",

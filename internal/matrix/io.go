@@ -3,6 +3,7 @@ package matrix
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -96,8 +97,27 @@ func WriteBinary(w io.Writer, m *Dense) error {
 	return bw.Flush()
 }
 
-// ReadBinary parses the binary format written by WriteBinary.
+// ErrTooLarge reports a binary matrix whose encoded size exceeds the
+// limit passed to ReadBinaryLimit. It is returned before any element
+// storage is allocated, so callers reading untrusted input can bound
+// memory by the limit alone.
+var ErrTooLarge = errors.New("matrix: encoded size exceeds limit")
+
+// ReadBinary parses the binary format written by WriteBinary. The input
+// is trusted: dimensions are taken from the header (capped only at the
+// format's 1<<24 bound each). For untrusted readers use ReadBinaryLimit.
 func ReadBinary(r io.Reader) (*Dense, error) {
+	return ReadBinaryLimit(r, 0)
+}
+
+// ReadBinaryLimit parses the binary format, rejecting any matrix whose
+// total encoded size (header plus payload, per BinarySize) exceeds
+// maxBytes with ErrTooLarge. The check runs before element storage is
+// allocated: the header's dimensions are untrusted, so a hostile
+// 12-byte request cannot demand a rows*cols*8 allocation larger than
+// the caller's bound. maxBytes <= 0 means no limit beyond the format's
+// own dimension cap.
+func ReadBinaryLimit(r io.Reader, maxBytes int64) (*Dense, error) {
 	br := bufio.NewReader(r)
 	var magic, rows, cols uint32
 	for _, p := range []*uint32{&magic, &rows, &cols} {
@@ -110,6 +130,10 @@ func ReadBinary(r io.Reader) (*Dense, error) {
 	}
 	if rows > 1<<24 || cols > 1<<24 {
 		return nil, fmt.Errorf("matrix: ReadBinary implausible dims %dx%d", rows, cols)
+	}
+	if maxBytes > 0 && BinarySize(int(rows), int(cols)) > maxBytes {
+		return nil, fmt.Errorf("matrix: ReadBinary %dx%d needs %d bytes, limit %d: %w",
+			rows, cols, BinarySize(int(rows), int(cols)), maxBytes, ErrTooLarge)
 	}
 	m := New(int(rows), int(cols))
 	buf := make([]byte, 8)

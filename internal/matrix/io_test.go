@@ -2,6 +2,8 @@ package matrix
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"math"
 	"math/rand"
 	"strings"
@@ -94,6 +96,43 @@ func TestBinaryRoundTrip(t *testing.T) {
 func TestReadBinaryBadMagic(t *testing.T) {
 	if _, err := ReadBinary(bytes.NewReader([]byte{1, 2, 3, 4, 0, 0, 0, 0, 0, 0, 0, 0})); err == nil {
 		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestReadBinaryLimit(t *testing.T) {
+	// A hostile 12-byte header claiming huge dimensions must be rejected
+	// by the size check alone, before any element storage is allocated.
+	hdr := func(rows, cols uint32) []byte {
+		var buf bytes.Buffer
+		for _, v := range []uint32{binaryMagic, rows, cols} {
+			b := make([]byte, 4)
+			binary.LittleEndian.PutUint32(b, v)
+			buf.Write(b)
+		}
+		return buf.Bytes()
+	}
+	_, err := ReadBinaryLimit(bytes.NewReader(hdr(1<<24, 1<<24)), 64<<20)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("2 PiB claim under a 64 MiB limit: err = %v, want ErrTooLarge", err)
+	}
+
+	// A matrix exactly at the limit still round-trips.
+	rng := rand.New(rand.NewSource(34))
+	m := randDense(rng, 6, 6)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinaryLimit(bytes.NewReader(buf.Bytes()), BinarySize(6, 6))
+	if err != nil {
+		t.Fatalf("exact-size limit rejected: %v", err)
+	}
+	if !Equal(got, m, 0) {
+		t.Fatal("limited read not exact")
+	}
+	// One byte under the encoded size must reject.
+	if _, err := ReadBinaryLimit(bytes.NewReader(buf.Bytes()), BinarySize(6, 6)-1); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("undersized limit: err = %v, want ErrTooLarge", err)
 	}
 }
 

@@ -94,11 +94,14 @@ func (s *Server) handleInvert(w http.ResponseWriter, r *http.Request) {
 	if text {
 		a, err = matrix.ReadText(body)
 	} else {
-		a, err = matrix.ReadBinary(body)
+		// The limit must reach inside the decoder: MaxBytesReader only
+		// bounds bytes read, and the header-declared dimensions would be
+		// allocated before any payload byte is consumed.
+		a, err = matrix.ReadBinaryLimit(body, DefaultMaxBodyBytes)
 	}
 	if err != nil {
 		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
+		if errors.As(err, &tooLarge) || errors.Is(err, matrix.ErrTooLarge) {
 			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
 			return
 		}

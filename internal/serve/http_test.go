@@ -2,6 +2,7 @@ package serve_test
 
 import (
 	"bytes"
+	"encoding/binary"
 	"io"
 	"math/rand"
 	"net/http"
@@ -252,6 +253,29 @@ func TestServingIntegrationOverload(t *testing.T) {
 	}
 	if res, _ := matrix.IdentityResidual(a, inv); res > 1e-8 {
 		t.Fatalf("post-burst residual %g", res)
+	}
+}
+
+// TestHTTPHostileHeaderRejected: a 12-byte binary header claiming huge
+// dimensions must get a 413 from the size check, not trigger a multi-PiB
+// allocation (MaxBytesReader cannot help — the allocation would happen
+// before any payload byte is read).
+func TestHTTPHostileHeaderRejected(t *testing.T) {
+	opts := core.DefaultOptions(4)
+	opts.NB = 16
+	_, hs := startServer(t, serve.Config{Opts: opts})
+
+	var buf bytes.Buffer
+	for _, v := range []uint32{0x4d585236, 1 << 24, 1 << 24} { // magic, rows, cols
+		binary.Write(&buf, binary.LittleEndian, v)
+	}
+	resp, err := hs.Client().Post(hs.URL+"/invert", "application/octet-stream", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("hostile header: status %d, want 413", resp.StatusCode)
 	}
 }
 

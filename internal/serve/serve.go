@@ -100,10 +100,18 @@ type flight struct {
 	refs int
 }
 
-func (f *flight) acquire() {
+// tryAcquire adds a waiter, failing if the flight is already dead: the
+// last waiter left (refs hit 0, which cancels the context) but execute()
+// has not yet removed the flight from the server map. Joining such a
+// flight would hand a live request a spurious context.Canceled.
+func (f *flight) tryAcquire() bool {
 	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.refs == 0 || f.ctx.Err() != nil {
+		return false
+	}
 	f.refs++
-	f.mu.Unlock()
+	return true
 }
 
 func (f *flight) release() {
@@ -280,8 +288,12 @@ func (s *Server) join(key string, a *matrix.Dense, opts core.Options) (*flight, 
 		return nil, false, ErrDraining
 	}
 	if f, ok := s.flights[key]; ok {
-		f.acquire()
-		return f, false, nil
+		if f.tryAcquire() {
+			return f, false, nil
+		}
+		// Dead flight still in the map: start a fresh one in its place.
+		// The overwrite below is safe because execute() only deletes the
+		// map entry if it still points at its own flight.
 	}
 	fctx, cancel := context.WithCancel(context.Background())
 	f := &flight{key: key, a: a, opts: opts, ctx: fctx, cancel: cancel,
@@ -334,7 +346,11 @@ func (s *Server) execute(f *flight) {
 		s.met.Counter("serve.cache_evictions").Add(int64(s.cache.Put(f.key, f.inv)))
 	}
 	s.mu.Lock()
-	delete(s.flights, f.key)
+	// A dead flight may have been replaced by a revival in join(); only
+	// remove the entry if it is still ours.
+	if s.flights[f.key] == f {
+		delete(s.flights, f.key)
+	}
 	s.mu.Unlock()
 	close(f.done)
 }
@@ -367,11 +383,23 @@ func (s *Server) Drain(ctx context.Context) error {
 			case f := <-s.queue:
 				f.err = ErrDraining
 				s.mu.Lock()
-				delete(s.flights, f.key)
+				if s.flights[f.key] == f {
+					delete(s.flights, f.key)
+				}
 				s.mu.Unlock()
 				close(f.done)
 				s.inflight.Done()
 			default:
+				// The queue is empty, so every flight left in the map is
+				// executing. Cancel them so their pipelines stop at the
+				// next job boundary and workers.Wait() returns within the
+				// grace period's spirit instead of riding each run to
+				// natural completion.
+				s.mu.Lock()
+				for _, f := range s.flights {
+					f.cancel()
+				}
+				s.mu.Unlock()
 				close(s.stop)
 				s.workers.Wait()
 				return err

@@ -190,6 +190,73 @@ func TestSingleflightDedupConcurrentIdentical(t *testing.T) {
 	}
 }
 
+// TestJoinRevivesDeadFlight reproduces the singleflight revival race: the
+// last waiter of a flight has released it (refs 0, context canceled) but
+// execute() has not yet removed it from the map. A new request arriving in
+// that window must start a fresh flight, not inherit the canceled one and
+// fail with a spurious context.Canceled.
+func TestJoinRevivesDeadFlight(t *testing.T) {
+	s := mustServer(t, testConfig())
+	a := workload.DiagonallyDominant(24, 42)
+	opts, err := s.optsFor(Request{A: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := requestKey(a, opts.Nodes, opts.NB,
+		opts.SeparateFiles, opts.BlockWrap, opts.TransposeU, opts.StreamingInversion)
+
+	fctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dead := &flight{key: key, ctx: fctx, cancel: cancel, done: make(chan struct{})}
+	s.mu.Lock()
+	s.flights[key] = dead
+	s.mu.Unlock()
+
+	res, err := s.Do(context.Background(), Request{A: a})
+	if err != nil {
+		t.Fatalf("request joining a dead flight: %v", err)
+	}
+	if res.Source != "pipeline" {
+		t.Fatalf("source %q, want pipeline (fresh flight, not the dead one)", res.Source)
+	}
+	checkInverse(t, a, res.Inv)
+	if got := s.Metrics().Counter("serve.dedup_hits").Value(); got != 0 {
+		t.Fatalf("dedup_hits = %d on a dead flight", got)
+	}
+}
+
+// TestDrainCancelsExecutingFlights: when the drain grace expires, running
+// pipelines must be canceled at the next job boundary so Drain returns
+// promptly instead of riding each run to natural completion.
+func TestDrainCancelsExecutingFlights(t *testing.T) {
+	cfg := testConfig()
+	cfg.Concurrency = 1
+	s := mustServer(t, cfg)
+
+	var wg sync.WaitGroup
+	var doErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Deep pipeline: many jobs left once the drain deadline fires.
+		_, doErr = s.Do(context.Background(), Request{A: workload.DiagonallyDominant(192, 11), NB: 8})
+	}()
+	// Wait until the pipeline is actually executing (past admission).
+	for s.Metrics().Counter("mapreduce.jobs").Value() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain = %v, want DeadlineExceeded", err)
+	}
+	wg.Wait()
+	if doErr == nil {
+		t.Fatal("pipeline ran to completion past the drain grace period")
+	}
+}
+
 func TestOverloadRejectsAndStaysHealthy(t *testing.T) {
 	cfg := testConfig()
 	cfg.Concurrency = 1
