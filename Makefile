@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments examples trace serve load fmt vet clean
+.PHONY: all build test race cover cover-check bench bench-smoke experiments examples trace serve load fmt vet lint clean
 
 all: build test
 
@@ -62,6 +62,33 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Mirror of the CI lint gate: gofmt, vet, and staticcheck. staticcheck is
+# skipped gracefully when not installed locally; CI always runs it
+# (honnef.co/go/tools/cmd/staticcheck@latest).
+lint:
+	test -z "$$(gofmt -l .)"
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping (CI runs it)"; fi
+
+# Mirror of the CI coverage gate: total ./internal/... statement coverage
+# must not drop below ci/coverage_floor.txt.
+cover-check:
+	$(GO) test -coverprofile=cover.out ./internal/...
+	@floor="$$(cat ci/coverage_floor.txt)"; \
+	total="$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}')"; \
+	echo "total coverage: $$total% (floor: $$floor%)"; \
+	awk -v t="$$total" -v f="$$floor" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' || \
+	{ echo "coverage $$total% fell below floor $$floor%"; exit 1; }
+
+# Seeded perf smoke, as run by CI: one closed-loop serving load run plus
+# the seeded benchmark experiments, collected as JSONL in
+# BENCH_report.json (uploaded as a workflow artifact — the repository's
+# perf trajectory).
+bench-smoke:
+	$(GO) run repro/cmd/loadgen -mode closed -concurrency 4 -requests 32 -seed 1 -mix 24:5,40:3,64:2 -dup 0.25 > BENCH_report.json
+	$(GO) run repro/cmd/mrbench -exp all -seed 1 -json >> BENCH_report.json
 
 # Record the final outputs the repository ships with.
 record:

@@ -67,6 +67,13 @@ type summary struct {
 	P50Ms      float64        `json:"p50_ms"`
 	P95Ms      float64        `json:"p95_ms"`
 	P99Ms      float64        `json:"p99_ms"`
+	// Scheduler view from the server's /statz: how hard the shared
+	// cluster's slot pool was driven by this run.
+	SlotCap        int     `json:"slot_cap,omitempty"`
+	SlotPeak       int     `json:"slot_peak,omitempty"`
+	SlotGrants     int64   `json:"slot_grants,omitempty"`
+	SlotWaitCount  int64   `json:"slot_wait_count,omitempty"`
+	SlotWaitMeanMs float64 `json:"slot_wait_mean_ms,omitempty"`
 }
 
 func main() {
@@ -81,6 +88,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-request server-side deadline (0 = none)")
 	nodes := flag.Int("nodes", 0, "nodes override sent with each request (0 = server default)")
 	nb := flag.Int("nb", 0, "nb override sent with each request (0 = server default)")
+	priority := flag.Int("priority", 0, "fair-share priority sent with each request (higher wins contended slots)")
 	perRequest := flag.Bool("per-request", false, "emit one JSONL line per request before the summary")
 	serveConc := flag.Int("serve-concurrency", 4, "in-process server: concurrent pipelines")
 	serveQueue := flag.Int("serve-queue", 64, "in-process server: admission queue depth")
@@ -107,6 +115,9 @@ func main() {
 	}
 	if *nb > 0 {
 		target += fmt.Sprintf("nb=%d&", *nb)
+	}
+	if *priority != 0 {
+		target += fmt.Sprintf("priority=%d&", *priority)
 	}
 
 	// Materialize the request sequence up front: deterministic under
@@ -192,7 +203,30 @@ func main() {
 			enc.Encode(r)
 		}
 	}
-	enc.Encode(summarize(*mode, *seed, results, wall))
+	sum := summarize(*mode, *seed, results, wall)
+	addSchedulerStats(&sum, client, base)
+	enc.Encode(sum)
+}
+
+// addSchedulerStats folds the server's /statz scheduler view into the
+// summary, so every load run reports slot utilization and wait alongside
+// its latency percentiles. Best-effort: a server without /statz just
+// leaves the fields zero.
+func addSchedulerStats(s *summary, client *http.Client, base string) {
+	resp, err := client.Get(base + "/statz")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var st serve.Stats
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&st) != nil {
+		return
+	}
+	s.SlotCap = st.Scheduler.Capacity
+	s.SlotPeak = st.Scheduler.Peak
+	s.SlotGrants = st.Scheduler.Grants
+	s.SlotWaitCount = st.SlotWaitCount
+	s.SlotWaitMeanMs = st.SlotWaitMeanMs
 }
 
 // summarize folds per-request results into the JSONL summary line.

@@ -6,8 +6,12 @@
 //
 //	matserve -addr :8723 -nodes 8 -nb 64 -concurrency 4 -queue 32 -cache-mb 64
 //
+// Concurrent pipelines share one cluster-wide slot scheduler (total
+// executing task attempts never exceed -nodes); -max-jobs and
+// -slot-quota bound a single request's share of it.
+//
 //	POST /invert    binary matrix body -> binary inverse
-//	                query: timeout=250ms  nodes=8  nb=64
+//	                query: timeout=250ms  nodes=8  nb=64  priority=5
 //	GET  /healthz /statz /metricz
 //
 // Clients: cmd/loadgen drives it; or curl:
@@ -37,6 +41,8 @@ func main() {
 	concurrency := flag.Int("concurrency", 2, "pipelines executed at once")
 	queue := flag.Int("queue", 16, "admission queue depth (excess requests get 429)")
 	cacheMB := flag.Int64("cache-mb", 64, "inverse result cache budget in MiB (0 disables)")
+	maxJobs := flag.Int("max-jobs", 0, "cap on MapReduce jobs holding cluster slots at once (0 = unlimited)")
+	slotQuota := flag.Int("slot-quota", 0, "cap on slots one job may hold while others wait (0 = unlimited)")
 	timeout := flag.Duration("timeout", 0, "default per-request deadline when the client sets none (0 = unlimited)")
 	drainGrace := flag.Duration("drain", 10*time.Second, "graceful drain budget on shutdown")
 	showMetrics := flag.Bool("metrics", false, "print the metrics registry after drain")
@@ -45,11 +51,13 @@ func main() {
 	opts := core.DefaultOptions(*nodes)
 	opts.NB = *nb
 	srv, err := serve.New(serve.Config{
-		Concurrency:    *concurrency,
-		QueueDepth:     *queue,
-		CacheBytes:     *cacheMB << 20,
-		DefaultTimeout: *timeout,
-		Opts:           opts,
+		Concurrency:       *concurrency,
+		QueueDepth:        *queue,
+		CacheBytes:        *cacheMB << 20,
+		DefaultTimeout:    *timeout,
+		MaxConcurrentJobs: *maxJobs,
+		SlotQuota:         *slotQuota,
+		Opts:              opts,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -199,6 +199,7 @@ func (st *pipelineState) runLevelJob(node *nodeInput, h int, h1 *luHandle, a2ref
 		Name:      "lu:" + dir,
 		Splits:    mapreduce.ControlSplits(m0),
 		NumReduce: m0,
+		Priority:  st.opts.Priority,
 		Partition: func(key string, n int) int {
 			var v int
 			fmt.Sscanf(key, "%d", &v)

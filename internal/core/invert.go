@@ -42,6 +42,7 @@ func (st *pipelineState) runInvertJob(hd *luHandle) (*matrix.Dense, error) {
 		Name:      "invert",
 		Splits:    mapreduce.ControlSplits(m0),
 		NumReduce: m0,
+		Priority:  st.opts.Priority,
 		Partition: func(key string, nred int) int {
 			var v int
 			fmt.Sscanf(key, "%d", &v)

@@ -42,6 +42,7 @@ func (p *Pipeline) Multiply(a, b *matrix.Dense) (*matrix.Dense, error) {
 		Name:      "multiply",
 		Splits:    mapreduce.ControlSplits(m0),
 		NumReduce: m0,
+		Priority:  p.Opts.Priority,
 		Partition: func(key string, n int) int {
 			var v int
 			fmt.Sscanf(key, "%d", &v)
@@ -170,8 +171,9 @@ func (p *Pipeline) Solve(a, b *matrix.Dense) (*matrix.Dense, error) {
 	perm := hd.p
 
 	job := &mapreduce.Job{
-		Name:   "solve",
-		Splits: mapreduce.ControlSplits(m0),
+		Name:     "solve",
+		Splits:   mapreduce.ControlSplits(m0),
+		Priority: p.Opts.Priority,
 		Map: func(ctx *mapreduce.TaskContext, split mapreduce.InputSplit, emit mapreduce.Emitter) error {
 			j := split.ID
 			lo, hi := bandBounds(b.Cols, m0, j)

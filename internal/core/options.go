@@ -61,6 +61,12 @@ type Options struct {
 	// (Table 3's Text vs Binary columns), visible in the partition job's
 	// read accounting.
 	TextInput bool
+	// Priority is the fair-share scheduling priority carried by every
+	// MapReduce job of this pipeline: when the cluster's slots are
+	// contended by concurrent pipelines, higher-priority jobs are
+	// granted slots first; equal priorities share round-robin. Zero is
+	// the default class.
+	Priority int
 }
 
 // DefaultOptions returns the paper's optimized configuration on m0 nodes.

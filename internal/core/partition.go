@@ -74,8 +74,9 @@ func splitPoint(n int) int { return (n + 1) / 2 }
 func partitionJob(opts Options, n int, fs *dfs.FS) *mapreduce.Job {
 	m0 := opts.Nodes
 	return &mapreduce.Job{
-		Name:   "partition",
-		Splits: mapreduce.ControlSplits(m0),
+		Name:     "partition",
+		Splits:   mapreduce.ControlSplits(m0),
+		Priority: opts.Priority,
 		Prefer: func(task int) []int {
 			path := fmt.Sprintf("%s/input/R.%d", opts.Root, task)
 			if opts.TextInput {

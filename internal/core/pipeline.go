@@ -78,6 +78,8 @@ type Report struct {
 	FS             dfs.Stats        // byte accounting deltas for this run
 	Elapsed        time.Duration    // wall-clock for the whole pipeline
 	JobElapsed     time.Duration    // sum of per-job recorded times
+	SlotWait       time.Duration    // cumulative time task attempts queued for cluster slots
+	SlotGrants     int64            // slots granted across the run's task attempts
 	Trace          *obs.Span        // root span of the run (nil when not traced)
 }
 
@@ -99,6 +101,8 @@ type pipelineState struct {
 	masterCombines       int
 	counters             map[string]int64
 	jobElapsed           time.Duration
+	slotWait             time.Duration
+	slotGrants           int64
 }
 
 // runCtx returns the run's cancellation context, defaulting to Background
@@ -124,6 +128,8 @@ func (st *pipelineState) recordJob(jr *mapreduce.JobResult) {
 	st.taskFailures += jr.TaskFailures
 	st.speculative += jr.SpeculativeTasks
 	st.jobElapsed += jr.Elapsed
+	st.slotWait += jr.SlotWait
+	st.slotGrants += jr.SlotGrants
 	if st.counters == nil {
 		st.counters = map[string]int64{}
 	}
@@ -272,6 +278,8 @@ func (p *Pipeline) InvertCtx(ctx context.Context, a *matrix.Dense) (*matrix.Dens
 		LFactorFiles:   hd.fileCount(),
 		Elapsed:        time.Since(start),
 		JobElapsed:     st.jobElapsed,
+		SlotWait:       st.slotWait,
+		SlotGrants:     st.slotGrants,
 		Trace:          st.span,
 		FS: dfs.Stats{
 			BytesWritten:     after.BytesWritten - statsBefore.BytesWritten,

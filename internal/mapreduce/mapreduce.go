@@ -128,6 +128,10 @@ type Job struct {
 	// so a local worker can pick it up, reproducing Hadoop's data-local
 	// task placement.
 	Prefer func(task int) []int
+	// Priority is the job's fair-share scheduling priority: when slots
+	// are contended, higher-priority jobs are granted slots first, and
+	// equal priorities share round-robin. Zero is the default class.
+	Priority int
 	// TraceParent, when non-nil, parents this job's trace span under an
 	// enclosing span (the pipeline span). When nil, the cluster's Tracer
 	// (if any) records the job as a root span.
@@ -148,6 +152,12 @@ type JobResult struct {
 	// attempts.
 	Counters map[string]int64
 	Elapsed  time.Duration
+	// SlotWait is the cumulative time this job's task attempts spent
+	// waiting for a cluster slot — the queueing cost of sharing the
+	// cluster with concurrent jobs (zero on an idle cluster).
+	SlotWait time.Duration
+	// SlotGrants counts the slots granted to this job's attempts.
+	SlotGrants int64
 }
 
 // FailureInjector decides whether a given task attempt should fail
@@ -187,10 +197,21 @@ type Cluster struct {
 	// Metrics, when non-nil, accumulates engine counters and task/job
 	// latency histograms.
 	Metrics *obs.Registry
+	// MaxConcurrentJobs, when > 0, caps how many jobs may hold task
+	// slots at once; excess jobs queue whole (highest priority first).
+	// Set before the first Run, like Slots.
+	MaxConcurrentJobs int
+	// SlotQuota, when > 0, caps how many slots one job may hold while
+	// other jobs are waiting (work-conserving: a lone job still uses the
+	// whole cluster). Set before the first Run.
+	SlotQuota int
 
 	mu       sync.Mutex
 	jobsRun  int
 	failures int
+
+	schedOnce sync.Once
+	sched     *SlotPool
 }
 
 // NewCluster builds a cluster with the given slot count over fs.
@@ -213,6 +234,19 @@ func (c *Cluster) TaskFailures() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.failures
+}
+
+// Scheduler returns the cluster's shared slot pool, creating it on first
+// use from the cluster's Slots, MaxConcurrentJobs, SlotQuota, and Metrics
+// (all of which must therefore be configured before the first job runs).
+// Every task attempt of every job executes while holding one of its
+// slots, so concurrently running jobs share the same m0 — the Hadoop
+// JobTracker contract the serving layer depends on.
+func (c *Cluster) Scheduler() *SlotPool {
+	c.schedOnce.Do(func() {
+		c.sched = NewSlotPool(c.Slots, c.MaxConcurrentJobs, c.SlotQuota, c.Metrics)
+	})
+	return c.sched
 }
 
 // emitBuffer is a private Emitter accumulating pairs in order.
@@ -276,10 +310,12 @@ func (c *Cluster) RunCtx(ctx context.Context, job *Job) (*JobResult, error) {
 	if part == nil {
 		part = DefaultPartitioner
 	}
+	sj := c.Scheduler().Register(job.Name, job.Priority)
+	defer sj.Close()
 
 	// ---- Map phase ----
 	mapSpan := jobSpan.Child("map", obs.KindPhase)
-	mapPhase, err := c.runPhaseLocal(ctx, len(job.Splits), maxAttempts, job.Prefer, mapSpan, "map", func(i, attempt, node int) (any, map[string]int64, error) {
+	mapPhase, err := c.runPhaseLocal(ctx, sj, len(job.Splits), maxAttempts, job.Prefer, mapSpan, "map", func(i, attempt, node int) (any, map[string]int64, error) {
 		if c.InjectFailure != nil {
 			if ferr := c.InjectFailure(job.Name, i, attempt, true); ferr != nil {
 				return nil, nil, ferr
@@ -327,6 +363,8 @@ func (c *Cluster) RunCtx(ctx context.Context, job *Job) (*JobResult, error) {
 		res.Output = out
 		res.TaskFailures = totalFailures
 		res.Elapsed = time.Since(start) + c.LaunchOverhead
+		res.SlotWait = sj.WaitTotal()
+		res.SlotGrants = sj.Grants()
 		c.finishJob(totalFailures)
 		c.finishJobObs(jobSpan, res, fsBefore)
 		return res, nil
@@ -364,7 +402,7 @@ func (c *Cluster) RunCtx(ctx context.Context, job *Job) (*JobResult, error) {
 
 	// ---- Reduce phase ----
 	redSpan := jobSpan.Child("reduce", obs.KindPhase)
-	redPhase, err := c.runPhaseLocal(ctx, job.NumReduce, maxAttempts, nil, redSpan, "reduce", func(r, attempt, node int) (any, map[string]int64, error) {
+	redPhase, err := c.runPhaseLocal(ctx, sj, job.NumReduce, maxAttempts, nil, redSpan, "reduce", func(r, attempt, node int) (any, map[string]int64, error) {
 		if c.InjectFailure != nil {
 			if ferr := c.InjectFailure(job.Name, r, attempt, false); ferr != nil {
 				return nil, nil, ferr
@@ -407,6 +445,8 @@ func (c *Cluster) RunCtx(ctx context.Context, job *Job) (*JobResult, error) {
 	res.ReduceTasks = job.NumReduce
 	res.TaskFailures = totalFailures
 	res.Elapsed = time.Since(start) + c.LaunchOverhead
+	res.SlotWait = sj.WaitTotal()
+	res.SlotGrants = sj.Grants()
 	c.finishJob(totalFailures)
 	c.finishJobObs(jobSpan, res, fsBefore)
 	return res, nil
@@ -431,6 +471,8 @@ func (c *Cluster) finishJobObs(jobSpan *obs.Span, res *JobResult, fsBefore dfs.S
 		jobSpan.SetAttr("task.speculative", int64(res.SpeculativeTasks))
 		jobSpan.SetAttr("shuffled_kvs", int64(res.ShuffledKVs))
 		jobSpan.SetAttr("launch_overhead_us", c.LaunchOverhead.Microseconds())
+		jobSpan.SetAttr("slot_wait_us", res.SlotWait.Microseconds())
+		jobSpan.SetAttr("slot_grants", res.SlotGrants)
 		if c.FS != nil {
 			after := c.FS.Stats()
 			jobSpan.SetAttr("dfs.bytes_read", after.BytesRead-fsBefore.BytesRead)
@@ -448,6 +490,7 @@ func (c *Cluster) finishJobObs(jobSpan *obs.Span, res *JobResult, fsBefore dfs.S
 		c.Metrics.Counter("mapreduce.speculative_tasks").Add(int64(res.SpeculativeTasks))
 		c.Metrics.Counter("mapreduce.shuffled_kvs").Add(int64(res.ShuffledKVs))
 		c.Metrics.Histogram("mapreduce.job_latency").Observe(res.Elapsed)
+		c.Metrics.Histogram("mapreduce.job_slot_wait").Observe(res.SlotWait)
 	}
 }
 
@@ -467,15 +510,17 @@ type phaseResult struct {
 	speculative int
 }
 
-// runPhaseLocal executes n tasks on the worker pool with per-task retry
-// (up to maxAttempts failures), optional locality preference, and optional
-// speculative execution. Only the first successful attempt of a task
-// publishes its result and counters. When phaseSpan is non-nil, every
-// attempt records a task span (named "<label>:<task>") on its node's
-// track. Cancellation of ctx stops workers from launching further task
-// attempts; attempts already running finish in the background without
-// touching the phase result.
-func (c *Cluster) runPhaseLocal(ctx context.Context, n, maxAttempts int, prefer func(task int) []int, phaseSpan *obs.Span, label string, run taskFn) (*phaseResult, error) {
+// runPhaseLocal executes n tasks with per-task retry (up to maxAttempts
+// failures), optional locality preference, and optional speculative
+// execution. Every task attempt executes while holding a slot acquired
+// from the cluster's shared SlotPool through sj, so concurrent jobs on
+// the same cluster never exceed Slots executing attempts in total. Only
+// the first successful attempt of a task publishes its result and
+// counters. When phaseSpan is non-nil, every attempt records a task span
+// (named "<label>:<task>") on its node's track. Cancellation of ctx stops
+// workers from launching further task attempts; attempts already running
+// finish in the background without touching the phase result.
+func (c *Cluster) runPhaseLocal(ctx context.Context, sj *SchedJob, n, maxAttempts int, prefer func(task int) []int, phaseSpan *obs.Span, label string, run taskFn) (*phaseResult, error) {
 	pr := &phaseResult{results: make([]any, n), counters: map[string]int64{}}
 	if n == 0 {
 		return pr, nil
@@ -535,12 +580,32 @@ func (c *Cluster) runPhaseLocal(ctx context.Context, n, maxAttempts int, prefer 
 						mu.Unlock()
 						continue
 					}
+					mu.Unlock()
+					// Every attempt executes while holding a cluster-wide
+					// slot, so concurrent jobs on one cluster never exceed
+					// Slots executing attempts in total. The worker's node
+					// identity stays fixed (as in the single-job engine);
+					// the slot is purely the capacity token.
+					slot, _, ok := sj.Acquire(ctx, stop)
+					if !ok {
+						// Phase over or job canceled while queued.
+						return
+					}
+					mu.Lock()
+					if done[t.id] || fatal != nil {
+						mu.Unlock()
+						sj.Release(slot)
+						continue
+					}
 					// Delay scheduling: give a local worker a chance. The
 					// short sleep is the "delay" — budget expiry must cost
 					// wall-clock time, or a busy local worker never gets
-					// its turn before the budget burns out.
+					// its turn before the budget burns out. The slot goes
+					// back to the pool while we wait, so deferral never
+					// idles shared cluster capacity.
 					if t.deferred < deferBudget && !isPreferred(t.id, node) {
 						mu.Unlock()
+						sj.Release(slot)
 						t.deferred++
 						work <- t
 						time.Sleep(200 * time.Microsecond)
@@ -571,6 +636,7 @@ func (c *Cluster) runPhaseLocal(ctx context.Context, n, maxAttempts int, prefer 
 						}
 						taskSpan.Finish()
 					}
+					sj.Release(slot)
 					if c.Metrics != nil {
 						c.Metrics.Histogram("mapreduce.task_latency").Observe(time.Since(begin))
 					}

@@ -23,8 +23,9 @@ const DefaultMaxBodyBytes = 64 << 20
 //
 //	POST /invert    body = matrix (binary by default, text with
 //	                Content-Type: text/plain); query params timeout
-//	                (Go duration), nodes, nb. Responds with the inverse
-//	                in the same format, plus X-Source/X-Jobs headers.
+//	                (Go duration), nodes, nb, priority. Responds with the
+//	                inverse in the same format, plus X-Source/X-Jobs/
+//	                X-Slot-Wait headers.
 //	GET  /healthz   liveness (503 while draining)
 //	GET  /statz     JSON serving stats
 //	GET  /metricz   plain-text metrics registry
@@ -76,6 +77,12 @@ func (s *Server) handleInvert(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if v := q.Get("priority"); v != "" {
+		if req.Priority, err = strconv.Atoi(v); err != nil {
+			http.Error(w, "bad priority: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
 	ctx := r.Context()
 	if v := q.Get("timeout"); v != "" {
 		d, derr := time.ParseDuration(v)
@@ -119,6 +126,7 @@ func (s *Server) handleInvert(w http.ResponseWriter, r *http.Request) {
 	if res.Rep != nil {
 		w.Header().Set("X-Jobs", strconv.Itoa(res.Rep.JobsRun))
 		w.Header().Set("X-Elapsed", res.Rep.Elapsed.String())
+		w.Header().Set("X-Slot-Wait", res.Rep.SlotWait.String())
 	}
 	if text {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestConcurrentRequestsRespectClusterSlots is the serving-layer half of
+// the scheduler's acceptance criterion: four worker pipelines driving
+// distinct requests on one shared cluster never exceed Cluster.Slots
+// (= Opts.Nodes) concurrently executing task attempts. Runs under -race
+// in the suite's race step.
+func TestConcurrentRequestsRespectClusterSlots(t *testing.T) {
+	opts := core.DefaultOptions(4)
+	opts.NB = 16
+	s := mustServer(t, Config{Concurrency: 4, QueueDepth: 32, Opts: opts})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct seeds: no dedup/cache shortcuts, 8 real pipelines.
+			a := workload.DiagonallyDominant(40, int64(100+i))
+			res, err := s.Do(context.Background(), Request{A: a, Priority: i % 3})
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			checkInverse(t, a, res.Inv)
+		}(i)
+	}
+	wg.Wait()
+
+	st := s.Snapshot()
+	if st.Scheduler.Capacity != opts.Nodes {
+		t.Fatalf("slot capacity = %d, want %d", st.Scheduler.Capacity, opts.Nodes)
+	}
+	if st.Scheduler.Peak > opts.Nodes {
+		t.Fatalf("peak executing attempts = %d exceeds the %d-slot cluster", st.Scheduler.Peak, opts.Nodes)
+	}
+	if st.Scheduler.Grants == 0 {
+		t.Fatal("no slot grants recorded for 8 pipeline runs")
+	}
+	if st.Scheduler.InUse != 0 {
+		t.Fatalf("slots still held after drain of work: %d", st.Scheduler.InUse)
+	}
+	// 8 concurrent pipelines on 4 slots must have queued at least once.
+	if st.SlotWaitCount == 0 {
+		t.Fatal("slot-wait histogram empty under 2x overcommit")
+	}
+	if st.SlotWaitMeanMs < 0 {
+		t.Fatalf("negative mean slot wait %v", st.SlotWaitMeanMs)
+	}
+}
+
+// TestMaxConcurrentJobsConfig: the tenancy knob reaches the cluster and
+// still lets every request complete.
+func TestMaxConcurrentJobsConfig(t *testing.T) {
+	opts := core.DefaultOptions(4)
+	opts.NB = 16
+	s := mustServer(t, Config{
+		Concurrency: 3, QueueDepth: 16,
+		MaxConcurrentJobs: 1, SlotQuota: 2,
+		Opts: opts,
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a := workload.DiagonallyDominant(32, int64(200+i))
+			res, err := s.Do(context.Background(), Request{A: a})
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			checkInverse(t, a, res.Inv)
+		}(i)
+	}
+	wg.Wait()
+	if st := s.Snapshot(); st.Scheduler.Peak > opts.Nodes {
+		t.Fatalf("peak %d exceeds slots %d", st.Scheduler.Peak, opts.Nodes)
+	}
+}
+
+// TestReportCarriesSlotWait: the pipeline report surfaces the scheduler's
+// per-request wait accounting (zero is fine on an idle cluster; the
+// field must simply be non-negative and grants populated).
+func TestReportCarriesSlotWait(t *testing.T) {
+	s := mustServer(t, testConfig())
+	a := workload.DiagonallyDominant(32, 7)
+	res, err := s.Do(context.Background(), Request{A: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rep == nil {
+		t.Fatal("no report")
+	}
+	if res.Rep.SlotWait < 0 {
+		t.Fatalf("negative slot wait %v", res.Rep.SlotWait)
+	}
+	if res.Rep.SlotGrants == 0 {
+		t.Fatal("pipeline ran with zero slot grants")
+	}
+}

@@ -52,6 +52,13 @@ type Config struct {
 	// DefaultTimeout is applied to requests whose context carries no
 	// deadline; 0 means no default.
 	DefaultTimeout time.Duration
+	// MaxConcurrentJobs, when > 0, caps how many MapReduce jobs may hold
+	// cluster slots at once — the tenancy knob that stops one request's
+	// pipeline from starving every other tenant of the shared cluster.
+	MaxConcurrentJobs int
+	// SlotQuota, when > 0, caps the slots one job may hold while other
+	// jobs wait (work-conserving per-job share bound).
+	SlotQuota int
 	// Opts is the base pipeline configuration (cluster shape, nb,
 	// Section 6 toggles). A zero value selects core.DefaultOptions(8).
 	Opts core.Options
@@ -62,11 +69,16 @@ type Config struct {
 
 // Request is one inversion to perform. Nodes and NB, when non-zero,
 // override the server's base options for this request (and take part in
-// the dedup/cache key).
+// the dedup/cache key). Priority is the request's fair-share scheduling
+// class on the shared cluster: when slots are contended, higher-priority
+// requests' tasks are granted slots first. It is deliberately not part
+// of the dedup/cache key — the same matrix at any priority yields the
+// same inverse, and a joiner inherits the leader's priority.
 type Request struct {
-	A     *matrix.Dense
-	Nodes int
-	NB    int
+	A        *matrix.Dense
+	Nodes    int
+	NB       int
+	Priority int
 }
 
 // Result is a completed inversion.
@@ -165,6 +177,8 @@ func New(cfg Config) (*Server, error) {
 	fs := dfs.New(cfg.Opts.Nodes, dfs.DefaultReplication)
 	cl := mapreduce.NewCluster(fs, cfg.Opts.Nodes)
 	cl.Metrics = cfg.Metrics
+	cl.MaxConcurrentJobs = cfg.MaxConcurrentJobs
+	cl.SlotQuota = cfg.SlotQuota
 	fs.SetMetrics(cfg.Metrics)
 	s := &Server{
 		cfg:     cfg,
@@ -202,6 +216,7 @@ func (s *Server) optsFor(req Request) (core.Options, error) {
 	if req.NB > 0 {
 		opts.NB = req.NB
 	}
+	opts.Priority = req.Priority
 	opts.Root = fmt.Sprintf("srv/r%06d", s.seq.Add(1))
 	err := opts.Validate()
 	return opts, err
@@ -339,6 +354,9 @@ func (s *Server) execute(f *flight) {
 		begin := time.Now()
 		f.inv, f.rep, f.err = p.InvertCtx(f.ctx, f.a)
 		s.met.Histogram("serve.pipeline_latency").Observe(time.Since(begin))
+		if f.rep != nil {
+			s.met.Histogram("serve.slot_wait").Observe(f.rep.SlotWait)
+		}
 	}
 	// The run's intermediate files are dead weight on the shared DFS.
 	s.fs.DeleteTree(f.opts.Root)
@@ -435,6 +453,16 @@ type Stats struct {
 	Canceled     int64 `json:"canceled"`
 	Expired      int64 `json:"expired"`
 	Draining     bool  `json:"draining"`
+	// Scheduler is the shared cluster's slot-pool snapshot: capacity is
+	// m0, peak is the concurrency high-water mark (never above capacity
+	// by the scheduler invariant), and queue_depth counts task attempts
+	// waiting for a slot right now.
+	Scheduler mapreduce.SchedStats `json:"scheduler"`
+	// SlotWaitCount / SlotWaitMeanMs summarize the per-attempt slot-wait
+	// histogram: how often attempts queued for the shared cluster and
+	// for how long on average.
+	SlotWaitCount  int64   `json:"slot_wait_count"`
+	SlotWaitMeanMs float64 `json:"slot_wait_mean_ms"`
 }
 
 // Snapshot returns current serving stats.
@@ -442,21 +470,29 @@ func (s *Server) Snapshot() Stats {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
+	sw := s.met.Histogram("mapreduce.slot_wait").Snapshot()
+	meanMs := 0.0
+	if sw.Count > 0 {
+		meanMs = float64(sw.Sum.Microseconds()) / float64(sw.Count) / 1000
+	}
 	return Stats{
-		QueueDepth:   len(s.queue),
-		QueueCap:     cap(s.queue),
-		CacheEntries: s.cache.Len(),
-		CacheBytes:   s.cache.Bytes(),
-		CacheBudget:  s.cfg.CacheBytes,
-		Requests:     s.met.Counter("serve.requests").Value(),
-		Admitted:     s.met.Counter("serve.admitted").Value(),
-		Rejected:     s.met.Counter("serve.rejected").Value(),
-		DedupHits:    s.met.Counter("serve.dedup_hits").Value(),
-		CacheHits:    s.met.Counter("serve.cache_hits").Value(),
-		Completed:    s.met.Counter("serve.completed").Value(),
-		Failed:       s.met.Counter("serve.failed").Value(),
-		Canceled:     s.met.Counter("serve.canceled").Value(),
-		Expired:      s.met.Counter("serve.expired").Value(),
-		Draining:     draining,
+		QueueDepth:     len(s.queue),
+		QueueCap:       cap(s.queue),
+		CacheEntries:   s.cache.Len(),
+		CacheBytes:     s.cache.Bytes(),
+		CacheBudget:    s.cfg.CacheBytes,
+		Requests:       s.met.Counter("serve.requests").Value(),
+		Admitted:       s.met.Counter("serve.admitted").Value(),
+		Rejected:       s.met.Counter("serve.rejected").Value(),
+		DedupHits:      s.met.Counter("serve.dedup_hits").Value(),
+		CacheHits:      s.met.Counter("serve.cache_hits").Value(),
+		Completed:      s.met.Counter("serve.completed").Value(),
+		Failed:         s.met.Counter("serve.failed").Value(),
+		Canceled:       s.met.Counter("serve.canceled").Value(),
+		Expired:        s.met.Counter("serve.expired").Value(),
+		Draining:       draining,
+		Scheduler:      s.cluster.Scheduler().Stats(),
+		SlotWaitCount:  sw.Count,
+		SlotWaitMeanMs: meanMs,
 	}
 }
