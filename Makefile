@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover cover-check bench bench-smoke experiments examples trace serve load fmt vet lint clean
+.PHONY: all build test race cover cover-check bench bench-smoke chaos-smoke experiments examples trace serve load fmt vet lint clean
 
 all: build test
 
@@ -89,6 +89,13 @@ cover-check:
 bench-smoke:
 	$(GO) run repro/cmd/loadgen -mode closed -concurrency 4 -requests 32 -seed 1 -mix 24:5,40:3,64:2 -dup 0.25 > BENCH_report.json
 	$(GO) run repro/cmd/mrbench -exp all -seed 1 -json >> BENCH_report.json
+	$(GO) run repro/cmd/mrbench -kill-nodes 2 -n 96 -nb 24 -seed 1 -json >> BENCH_report.json
+
+# Seeded chaos smoke, as run by CI: replay the §7.4 failure-recovery
+# experiment under the race detector — kill 2 of 8 nodes mid-pipeline and
+# require a bit-identical inverse with every failure mode exercised.
+chaos-smoke:
+	$(GO) run -race repro/cmd/chaosrun -n 192 -nb 48 -nodes 8 -kill 2 -seed 1 -assert
 
 # Record the final outputs the repository ships with.
 record:

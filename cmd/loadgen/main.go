@@ -35,6 +35,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/matrix"
 	"repro/internal/serve"
@@ -74,6 +75,16 @@ type summary struct {
 	SlotGrants     int64   `json:"slot_grants,omitempty"`
 	SlotWaitCount  int64   `json:"slot_wait_count,omitempty"`
 	SlotWaitMeanMs float64 `json:"slot_wait_mean_ms,omitempty"`
+	// Chaos view from /statz when the in-process server ran with -chaos-kill:
+	// how many faults were injected while this load ran, and how many of
+	// the issued requests still failed.
+	ErrorRate            float64 `json:"error_rate"`
+	ChaosKills           int     `json:"chaos_kills,omitempty"`
+	ChaosRestarts        int     `json:"chaos_restarts,omitempty"`
+	ChaosBytesReplicated int64   `json:"chaos_bytes_rereplicated,omitempty"`
+	ChaosCrashedAttempts int     `json:"chaos_crashed_attempts,omitempty"`
+	ChaosFetchErrs       int     `json:"chaos_fetch_errors,omitempty"`
+	NodesAlive           int     `json:"nodes_alive,omitempty"`
 }
 
 func main() {
@@ -92,7 +103,13 @@ func main() {
 	perRequest := flag.Bool("per-request", false, "emit one JSONL line per request before the summary")
 	serveConc := flag.Int("serve-concurrency", 4, "in-process server: concurrent pipelines")
 	serveQueue := flag.Int("serve-queue", 64, "in-process server: admission queue depth")
+	chaosKill := flag.Int("chaos-kill", 0, "in-process server: kill this many datanodes under load (chaos mode)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "in-process server: fault-schedule seed for -chaos-kill")
 	flag.Parse()
+
+	if *chaosKill > 0 && *url != "" {
+		log.Fatal("-chaos-kill injects faults into the in-process server; it cannot target an external -url")
+	}
 
 	entries, err := workload.ParseMix(*mixSpec)
 	if err != nil {
@@ -103,7 +120,7 @@ func main() {
 	base := *url
 	if base == "" {
 		var stop func()
-		base, stop = selfServe(*serveConc, *serveQueue)
+		base, stop = selfServe(*serveConc, *serveQueue, *chaosKill, *chaosSeed)
 		defer stop()
 	}
 	target := base + "/invert?"
@@ -227,6 +244,14 @@ func addSchedulerStats(s *summary, client *http.Client, base string) {
 	s.SlotGrants = st.Scheduler.Grants
 	s.SlotWaitCount = st.SlotWaitCount
 	s.SlotWaitMeanMs = st.SlotWaitMeanMs
+	s.NodesAlive = st.NodesAlive
+	if st.Chaos != nil {
+		s.ChaosKills = st.Chaos.Kills
+		s.ChaosRestarts = st.Chaos.Restarts
+		s.ChaosBytesReplicated = st.Chaos.BytesReReplicated
+		s.ChaosCrashedAttempts = st.Chaos.CrashedAttempts
+		s.ChaosFetchErrs = st.Chaos.FetchErrorsInjected
+	}
 }
 
 // summarize folds per-request results into the JSONL summary line.
@@ -256,6 +281,9 @@ func summarize(mode string, seed int64, results []result, wall time.Duration) su
 	if wall > 0 {
 		s.Throughput = float64(s.OK) / wall.Seconds()
 	}
+	if len(results) > 0 {
+		s.ErrorRate = float64(len(results)-s.OK) / float64(len(results))
+	}
 	if len(lat) > 0 {
 		sort.Float64s(lat)
 		s.MeanMs = sum / float64(len(lat))
@@ -279,16 +307,29 @@ func percentile(sorted []float64, p float64) float64 {
 }
 
 // selfServe starts an in-process matserve on a loopback port and returns
-// its base URL plus a shutdown function.
-func selfServe(concurrency, queue int) (string, func()) {
+// its base URL plus a shutdown function. chaosKill > 0 runs the server's
+// cluster under a seeded fault schedule: that many datanodes crash while
+// the load runs (and are later revived, so capacity recovers), proving the
+// serving path absorbs node loss without failing requests.
+func selfServe(concurrency, queue, chaosKill int, chaosSeed int64) (string, func()) {
 	opts := core.DefaultOptions(8)
 	opts.NB = 64
-	srv, err := serve.New(serve.Config{
+	cfg := serve.Config{
 		Concurrency: concurrency,
 		QueueDepth:  queue,
 		CacheBytes:  64 << 20,
 		Opts:        opts,
-	})
+	}
+	if chaosKill > 0 {
+		plan := chaos.RandomPlan(chaosSeed, chaos.PlanConfig{
+			Nodes:   opts.Nodes,
+			Kills:   chaosKill,
+			Horizon: 64,
+			Restart: true,
+		})
+		cfg.Chaos = &plan
+	}
+	srv, err := serve.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	mrinverse "repro"
+	"repro/internal/chaos"
 	"repro/internal/costmodel"
 	"repro/internal/obs"
 	"repro/internal/workload"
@@ -43,11 +44,17 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON object per experiment instead of text")
 	traceOut := flag.String("trace", "", "run one instrumented inversion at -n/-nb and write a Chrome trace-event JSON file")
 	showMetrics := flag.Bool("metrics", false, "run one instrumented inversion at -n/-nb and print the metrics registry")
+	killNodes := flag.Int("kill-nodes", 0, "run the measured §7.4 failure-recovery slowdown curve for 0..k killed nodes at -n/-nb")
 	flag.Parse()
 	seedBase = *seed
 
 	if *traceOut != "" || *showMetrics {
 		observedRun(*traceOut, *showMetrics, *n, *nb)
+		return
+	}
+
+	if *killNodes > 0 {
+		failureRecovery(*killNodes, *n, *nb, *jsonOut)
 		return
 	}
 
@@ -119,6 +126,70 @@ func observedRun(traceOut string, showMetrics bool, n, nb int) {
 	}
 	if metrics != nil {
 		fmt.Print(metrics.String())
+	}
+}
+
+// failureRecovery measures the paper's §7.4 failure-recovery slowdown on
+// this machine: for each kill count 0..k it inverts the same seeded matrix
+// fault-free and under a seeded chaos schedule, reporting the slowdown and
+// asserting the inverse bit-identical. JSON output is one object, shaped
+// like the other experiments' JSONL lines so it can append to a bench
+// report.
+func failureRecovery(k, n, nb int, jsonOut bool) {
+	kills := make([]int, k+1)
+	for i := range kills {
+		kills[i] = i
+	}
+	curve, err := chaos.SlowdownCurve(chaos.ExperimentConfig{
+		N: n, NB: nb, Nodes: 8, Seed: seedBase, Restart: true, FetchFailEvery: 3,
+	}, kills)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if jsonOut {
+		type point struct {
+			Kills             int     `json:"kills"`
+			BaselineMs        float64 `json:"baseline_ms"`
+			FaultyMs          float64 `json:"faulty_ms"`
+			Slowdown          float64 `json:"slowdown"`
+			TaskFailures      int     `json:"task_failures"`
+			LostMapOutputs    int     `json:"lost_map_outputs"`
+			SpeculativeTasks  int     `json:"speculative_tasks"`
+			BytesReReplicated int64   `json:"bytes_rereplicated"`
+			Identical         bool    `json:"identical"`
+		}
+		pts := make([]point, len(curve))
+		for i, r := range curve {
+			pts[i] = point{
+				Kills:             r.Config.Kill,
+				BaselineMs:        r.Baseline.ElapsedMs,
+				FaultyMs:          r.Faulty.ElapsedMs,
+				Slowdown:          r.Slowdown,
+				TaskFailures:      r.Faulty.TaskFailures,
+				LostMapOutputs:    r.Faulty.LostMapOutputs,
+				SpeculativeTasks:  r.Faulty.SpeculativeTasks,
+				BytesReReplicated: r.Chaos.BytesReReplicated,
+				Identical:         r.Identical,
+			}
+		}
+		if err := json.NewEncoder(os.Stdout).Encode(map[string]any{
+			"experiment": "sec74_failure_recovery",
+			"data":       map[string]any{"n": n, "nb": nb, "nodes": 8, "seed": seedBase, "points": pts},
+		}); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	header(fmt.Sprintf("Section 7.4: measured failure recovery (n=%d, nb=%d, 8 nodes)", n, nb))
+	fmt.Printf("%-6s %-12s %-12s %-9s %-9s %-6s %s\n",
+		"kills", "baseline", "faulty", "slowdown", "failures", "spec", "identical")
+	for _, r := range curve {
+		fmt.Printf("%-6d %-12.1f %-12.1f %-9.2f %-9d %-6d %v\n",
+			r.Config.Kill, r.Baseline.ElapsedMs, r.Faulty.ElapsedMs, r.Slowdown,
+			r.Faulty.TaskFailures, r.Faulty.SpeculativeTasks, r.Identical)
+		if !r.Identical {
+			log.Fatalf("kills=%d: inverse under chaos differs from the fault-free run", r.Config.Kill)
+		}
 	}
 }
 

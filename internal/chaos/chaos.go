@@ -1,0 +1,515 @@
+// Package chaos is a seeded, deterministic fault-injection orchestrator
+// for the simulated cluster: it schedules node crashes and restarts (a
+// dead node's in-flight attempts fail and its completed map outputs become
+// unreadable, forcing re-execution — the Hadoop semantics the paper's
+// Section 7.4 experiment relies on), DFS replica loss with background
+// re-replication, straggler injection that drives the engine's
+// speculative-execution path, and transient shuffle-fetch errors.
+//
+// Determinism is clock-free: the engine keeps a logical clock that
+// advances on the events the MapReduce engine reports — one tick per task
+// attempt start and one per shuffle-fetch check — and a Plan's events fire
+// when the clock crosses their tick. The same seed therefore produces the
+// same fault schedule on every run regardless of wall-clock speed, and
+// because the engine's shuffle is sorted and its task functions are
+// deterministic, the inverse computed under chaos is bit-identical to the
+// fault-free one.
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/mapreduce"
+	"repro/internal/obs"
+)
+
+// EventKind classifies one scheduled fault.
+type EventKind int
+
+const (
+	// Kill crashes a node: its worker stops receiving tasks, in-flight
+	// attempts fail, its DFS replicas are dropped (surviving replicas are
+	// re-replicated), and its completed map outputs become unreadable.
+	Kill EventKind = iota
+	// Restart brings a dead node back, empty (a fresh incarnation).
+	Restart
+	// Slow makes every attempt starting on the victim node take an extra
+	// Delay — a straggler, food for speculative execution.
+	Slow
+	// Heal clears slowdowns (from the victim, or all nodes with VictimAll).
+	Heal
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case Kill:
+		return "kill"
+	case Restart:
+		return "restart"
+	case Slow:
+		return "slow"
+	case Heal:
+		return "heal"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Trigger restricts which logical-clock advance may fire an event.
+type Trigger int
+
+const (
+	// OnAny fires at the first clock advance past the event's tick.
+	OnAny Trigger = iota
+	// OnAttempt fires only on a task-attempt start, so a VictimCurrent
+	// kill is guaranteed to fail an in-flight attempt.
+	OnAttempt
+	// OnFetch fires only on a shuffle-fetch check, so a VictimCurrent
+	// kill is guaranteed to lose a completed map output.
+	OnFetch
+)
+
+func (tr Trigger) String() string {
+	switch tr {
+	case OnAny:
+		return "any"
+	case OnAttempt:
+		return "attempt"
+	case OnFetch:
+		return "fetch"
+	}
+	return fmt.Sprintf("trigger(%d)", int(tr))
+}
+
+// Victim selectors for Event.Node (values >= 0 name a fixed node).
+const (
+	// VictimCurrent targets the node of the triggering attempt or fetch —
+	// a node guaranteed to have work (or output) to lose.
+	VictimCurrent = -1
+	// VictimOldestDead targets the longest-dead node (FIFO restarts).
+	VictimOldestDead = -2
+	// VictimAll targets every node (Heal only).
+	VictimAll = -3
+)
+
+func victimString(v int) string {
+	switch v {
+	case VictimCurrent:
+		return "current"
+	case VictimOldestDead:
+		return "oldest-dead"
+	case VictimAll:
+		return "all"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// Event is one scheduled fault. It fires at the first clock advance of the
+// matching Trigger kind at or after Tick; events fire strictly in plan
+// order. A Kill (or Slow) whose victim cannot be resolved to a live node
+// is deferred — it stays pending until a matching trigger supplies one —
+// and a Kill that would take down the last live node waits the same way.
+type Event struct {
+	Tick  int64         `json:"tick"`
+	Kind  EventKind     `json:"kind"`
+	On    Trigger       `json:"on"`
+	Node  int           `json:"node"`            // fixed node or a Victim* selector
+	Delay time.Duration `json:"delay,omitempty"` // Slow only
+}
+
+func (ev Event) String() string {
+	s := fmt.Sprintf("@%d %s on=%s victim=%s", ev.Tick, ev.Kind, ev.On, victimString(ev.Node))
+	if ev.Delay > 0 {
+		s += fmt.Sprintf(" delay=%s", ev.Delay)
+	}
+	return s
+}
+
+// Plan is a complete, seed-deterministic fault schedule.
+type Plan struct {
+	Seed   int64   `json:"seed"`
+	Events []Event `json:"events"`
+	// FetchFailEvery, when > 0, injects transient fetch errors (failing
+	// the first two tries, succeeding after) for roughly one in every
+	// FetchFailEvery (job, map task) pairs, selected by seeded hash so the
+	// choice is independent of scheduling order.
+	FetchFailEvery int `json:"fetch_fail_every,omitempty"`
+}
+
+// String renders the plan in a canonical form; two runs with the same seed
+// produce byte-identical strings, which chaosrun prints and the
+// determinism test compares.
+func (p Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan seed=%d events=%d fetch_fail_every=%d\n", p.Seed, len(p.Events), p.FetchFailEvery)
+	for _, ev := range p.Events {
+		fmt.Fprintf(&b, "  %s\n", ev)
+	}
+	return b.String()
+}
+
+// PlanConfig shapes RandomPlan's schedule.
+type PlanConfig struct {
+	Nodes int // cluster size (victim selectors still bound kills to live nodes)
+	Kills int // node crashes to schedule
+	// Horizon is the logical-clock span the schedule targets; kills land
+	// in its first half so they hit mid-pipeline. Callers estimate it from
+	// the workload (the harness uses PipelineJobs(n, nb) * nodes).
+	Horizon int64
+	// Restart revives each killed node (FIFO) later in the schedule.
+	Restart bool
+	// SlowDelay, when > 0, schedules one straggler injection of this
+	// length (plus a Heal shortly after, bounding the damage).
+	SlowDelay time.Duration
+	// FetchFailEvery is copied to the plan; see Plan.FetchFailEvery.
+	FetchFailEvery int
+}
+
+// RandomPlan builds a deterministic schedule from a seed: kill events
+// alternate attempt- and fetch-triggered (so both in-flight attempts and
+// completed map outputs are provably lost), an optional straggler fires
+// early, and optional restarts revive the oldest dead node. Same seed and
+// config, same plan — byte for byte.
+func RandomPlan(seed int64, cfg PlanConfig) Plan {
+	rng := rand.New(rand.NewSource(seed))
+	horizon := cfg.Horizon
+	if horizon < 16 {
+		horizon = 16
+	}
+	var evs []Event
+	if cfg.SlowDelay > 0 {
+		st := 1 + rng.Int63n(horizon/8+1)
+		evs = append(evs,
+			Event{Tick: st, Kind: Slow, On: OnAttempt, Node: VictimCurrent, Delay: cfg.SlowDelay},
+			Event{Tick: st + 2, Kind: Heal, On: OnAny, Node: VictimAll})
+	}
+	for i := 0; i < cfg.Kills; i++ {
+		// Spread kills over the first half of the horizon, jittered.
+		tick := horizon*int64(i+1)/int64(2*(cfg.Kills+1)) + rng.Int63n(horizon/8+1)
+		on := OnAttempt
+		if i%2 == 1 {
+			on = OnFetch
+		}
+		evs = append(evs, Event{Tick: tick, Kind: Kill, On: on, Node: VictimCurrent})
+		if cfg.Restart {
+			evs = append(evs, Event{Tick: tick + horizon/5 + 1, Kind: Restart, On: OnAny, Node: VictimOldestDead})
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Tick < evs[j].Tick })
+	return Plan{Seed: seed, Events: evs, FetchFailEvery: cfg.FetchFailEvery}
+}
+
+// Stats counts what the engine actually injected and healed.
+type Stats struct {
+	Ticks               int64 `json:"ticks"`
+	Kills               int   `json:"kills"`
+	Restarts            int   `json:"restarts"`
+	CrashedAttempts     int   `json:"crashed_attempts"`
+	SlowAttempts        int   `json:"slow_attempts"`
+	FetchErrorsInjected int   `json:"fetch_errors_injected"`
+	ReplicasHealed      int   `json:"replicas_healed"`
+	BytesReReplicated   int64 `json:"bytes_rereplicated"`
+}
+
+// Engine executes a Plan against a cluster. It implements
+// mapreduce.FaultPlane; wire it up with cluster.Faults = engine. All
+// methods are safe for concurrent use.
+type Engine struct {
+	fs      *dfs.FS
+	plan    Plan
+	tracer  *obs.Tracer
+	metrics *obs.Registry
+
+	mu        sync.Mutex
+	tick      int64
+	next      int // index of the first unfired plan event
+	alive     []bool
+	epoch     []int64
+	slow      []time.Duration
+	deadOrder []int
+	stats     Stats
+}
+
+var _ mapreduce.FaultPlane = (*Engine)(nil)
+
+// New builds an engine over fs (node count and replica loss/heal flow
+// through it; fs may be nil for engine-only tests, with nodes inferred as
+// the highest fixed victim + 1 or 8).
+func New(fs *dfs.FS, plan Plan) *Engine {
+	nodes := 8
+	if fs != nil {
+		nodes = fs.Nodes()
+	}
+	e := &Engine{
+		fs:    fs,
+		plan:  plan,
+		alive: make([]bool, nodes),
+		epoch: make([]int64, nodes),
+		slow:  make([]time.Duration, nodes),
+	}
+	for i := range e.alive {
+		e.alive[i] = true
+	}
+	sort.SliceStable(e.plan.Events, func(i, j int) bool { return e.plan.Events[i].Tick < e.plan.Events[j].Tick })
+	return e
+}
+
+// SetObs attaches a tracer (kill/restart/slow/heal point spans, KindChaos)
+// and a metrics registry (chaos.* counters). Call before the run starts.
+func (e *Engine) SetObs(tracer *obs.Tracer, metrics *obs.Registry) {
+	e.tracer = tracer
+	e.metrics = metrics
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// NodeAlive implements mapreduce.FaultPlane.
+func (e *Engine) NodeAlive(node int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return node >= 0 && node < len(e.alive) && e.alive[node]
+}
+
+// NodeEpoch implements mapreduce.FaultPlane.
+func (e *Engine) NodeEpoch(node int) int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if node < 0 || node >= len(e.epoch) {
+		return 0
+	}
+	return e.epoch[node]
+}
+
+// AttemptStart implements mapreduce.FaultPlane: it advances the logical
+// clock, fires due events, fails the attempt if its node just died, and
+// returns any straggler delay in force on the node.
+func (e *Engine) AttemptStart(job string, task, attempt, node int, isMap bool) (time.Duration, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if node < 0 || node >= len(e.alive) {
+		return 0, nil
+	}
+	e.tick++
+	e.stats.Ticks = e.tick
+	epochBefore := e.epoch[node]
+	e.applyLocked(OnAttempt, node)
+	if !e.alive[node] || e.epoch[node] != epochBefore {
+		e.stats.CrashedAttempts++
+		e.counterAdd("chaos.crashed_attempts", 1)
+		phase := "reduce"
+		if isMap {
+			phase = "map"
+		}
+		return 0, fmt.Errorf("chaos: node %d crashed at tick %d under %s %s task %d attempt %d", node, e.tick, job, phase, task, attempt)
+	}
+	if d := e.slow[node]; d > 0 {
+		e.stats.SlowAttempts++
+		e.counterAdd("chaos.slow_attempts", 1)
+		return d, nil
+	}
+	return 0, nil
+}
+
+// transientFetchFails is how many consecutive tries a hash-selected
+// transient fetch error survives — below the engine's retry bound, so
+// transient errors cost retries but never lose outputs.
+const transientFetchFails = 2
+
+// FetchError implements mapreduce.FaultPlane: the first try of each fetch
+// advances the logical clock (retries do not — one fetch, one tick), fires
+// due events, and errors if the source node is dead or the (job, task)
+// pair is hash-selected for a transient error.
+func (e *Engine) FetchError(job string, task, node, try int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if node < 0 || node >= len(e.alive) {
+		return nil
+	}
+	if try == 0 {
+		e.tick++
+		e.stats.Ticks = e.tick
+		e.applyLocked(OnFetch, node)
+	}
+	if !e.alive[node] {
+		e.stats.FetchErrorsInjected++
+		e.counterAdd("chaos.fetch_errors", 1)
+		return fmt.Errorf("chaos: fetch of %s map output %d: node %d is dead", job, task, node)
+	}
+	if e.plan.FetchFailEvery > 0 && try < transientFetchFails && hashSelect(e.plan.Seed, job, task, e.plan.FetchFailEvery) {
+		e.stats.FetchErrorsInjected++
+		e.counterAdd("chaos.fetch_errors", 1)
+		return fmt.Errorf("chaos: transient fetch error for %s map output %d (try %d)", job, task, try)
+	}
+	return nil
+}
+
+// hashSelect deterministically picks ~1/every of the (job, task) space,
+// independent of scheduling order.
+func hashSelect(seed int64, job string, task, every int) bool {
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%d/%s/%d", seed, job, task)
+	return h.Sum32()%uint32(every) == 0
+}
+
+// applyLocked fires plan events that are due at the current tick, in plan
+// order. An event whose Trigger does not match blocks later events until
+// its own trigger kind arrives (order is part of the schedule); a Kill or
+// Slow that cannot resolve a live victim stays pending the same way.
+func (e *Engine) applyLocked(trig Trigger, trigNode int) {
+	for e.next < len(e.plan.Events) {
+		ev := e.plan.Events[e.next]
+		if ev.Tick > e.tick {
+			return
+		}
+		if ev.On != OnAny && ev.On != trig {
+			return
+		}
+		if !e.fireLocked(ev, trigNode) {
+			return
+		}
+		e.next++
+	}
+}
+
+// fireLocked applies one event; false means the event stays pending.
+func (e *Engine) fireLocked(ev Event, trigNode int) bool {
+	switch ev.Kind {
+	case Kill:
+		v := e.resolveLocked(ev.Node, trigNode)
+		if v < 0 || !e.alive[v] || e.aliveCountLocked() <= 1 {
+			return false // defer: no live victim, or it is the last live node
+		}
+		e.alive[v] = false
+		e.epoch[v]++
+		e.slow[v] = 0
+		e.deadOrder = append(e.deadOrder, v)
+		e.stats.Kills++
+		e.counterAdd("chaos.kills", 1)
+		var healed int64
+		if e.fs != nil {
+			if err := e.fs.KillNode(v); err == nil {
+				copies, bytes := e.fs.ReReplicate()
+				e.stats.ReplicasHealed += copies
+				e.stats.BytesReReplicated += bytes
+				e.counterAdd("chaos.bytes_rereplicated", bytes)
+				healed = bytes
+			}
+		}
+		e.pointSpan("chaos:kill", v, healed)
+	case Restart:
+		v := ev.Node
+		if v == VictimOldestDead {
+			if len(e.deadOrder) == 0 {
+				return false // defer until a kill lands
+			}
+			v = e.deadOrder[0]
+		}
+		if v < 0 || v >= len(e.alive) || e.alive[v] {
+			return true // nothing to revive; drop
+		}
+		for i, d := range e.deadOrder {
+			if d == v {
+				e.deadOrder = append(e.deadOrder[:i], e.deadOrder[i+1:]...)
+				break
+			}
+		}
+		e.alive[v] = true
+		e.stats.Restarts++
+		e.counterAdd("chaos.restarts", 1)
+		var healed int64
+		if e.fs != nil {
+			if err := e.fs.RestartNode(v); err == nil {
+				// The revived node is empty; top files back up to the
+				// replication factor now that it can hold replicas again.
+				copies, bytes := e.fs.ReReplicate()
+				e.stats.ReplicasHealed += copies
+				e.stats.BytesReReplicated += bytes
+				e.counterAdd("chaos.bytes_rereplicated", bytes)
+				healed = bytes
+			}
+		}
+		e.pointSpan("chaos:restart", v, healed)
+	case Slow:
+		v := e.resolveLocked(ev.Node, trigNode)
+		if v < 0 || !e.alive[v] {
+			return false
+		}
+		e.slow[v] = ev.Delay
+		e.pointSpan("chaos:slow", v, 0)
+	case Heal:
+		if ev.Node == VictimAll {
+			for i := range e.slow {
+				e.slow[i] = 0
+			}
+			e.pointSpan("chaos:heal", VictimAll, 0)
+			return true
+		}
+		if v := e.resolveLocked(ev.Node, trigNode); v >= 0 {
+			e.slow[v] = 0
+			e.pointSpan("chaos:heal", v, 0)
+		}
+	}
+	return true
+}
+
+func (e *Engine) resolveLocked(v, trigNode int) int {
+	switch {
+	case v == VictimCurrent:
+		v = trigNode
+	case v == VictimOldestDead:
+		if len(e.deadOrder) == 0 {
+			return -1
+		}
+		v = e.deadOrder[0]
+	}
+	if v < 0 || v >= len(e.alive) {
+		return -1
+	}
+	return v
+}
+
+func (e *Engine) aliveCountLocked() int {
+	n := 0
+	for _, a := range e.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+func (e *Engine) counterAdd(name string, delta int64) {
+	if e.metrics != nil {
+		e.metrics.Counter(name).Add(delta)
+	}
+}
+
+// pointSpan records an instantaneous chaos event in the trace.
+func (e *Engine) pointSpan(name string, node int, bytes int64) {
+	if e.tracer == nil {
+		return
+	}
+	sp := e.tracer.StartSpan(name, obs.KindChaos)
+	if sp != nil {
+		if node >= 0 {
+			sp.SetTrack(node)
+			sp.SetAttr("node", int64(node))
+		}
+		sp.SetAttr("tick", e.tick)
+		if bytes > 0 {
+			sp.SetAttr("bytes_rereplicated", bytes)
+		}
+		sp.Finish()
+	}
+}

@@ -1,0 +1,273 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dfs"
+)
+
+func TestRandomPlanDeterministic(t *testing.T) {
+	cfg := PlanConfig{Nodes: 8, Kills: 3, Horizon: 40, Restart: true, SlowDelay: 50 * time.Millisecond, FetchFailEvery: 3}
+	p1 := RandomPlan(7, cfg)
+	p2 := RandomPlan(7, cfg)
+	if p1.String() != p2.String() {
+		t.Fatalf("same seed, different plans:\n%s\nvs\n%s", p1, p2)
+	}
+	if len(p1.Events) != 3+3+2 { // 3 kills + 3 restarts + slow/heal pair
+		t.Fatalf("plan has %d events, want 8:\n%s", len(p1.Events), p1)
+	}
+	// Kills alternate attempt- and fetch-triggered.
+	var kills []Event
+	for _, ev := range p1.Events {
+		if ev.Kind == Kill {
+			kills = append(kills, ev)
+		}
+	}
+	onAttempt, onFetch := 0, 0
+	for _, k := range kills {
+		switch k.On {
+		case OnAttempt:
+			onAttempt++
+		case OnFetch:
+			onFetch++
+		}
+	}
+	if onAttempt == 0 || onFetch == 0 {
+		t.Fatalf("kills do not alternate triggers: %v", kills)
+	}
+	if p3 := RandomPlan(8, cfg); p3.String() == p1.String() {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestKillOnAttemptFailsTriggeringAttempt(t *testing.T) {
+	fs := dfs.New(4, 2)
+	fs.Write("f", make([]byte, 100))
+	plan := Plan{Events: []Event{{Tick: 2, Kind: Kill, On: OnAttempt, Node: VictimCurrent}}}
+	eng := New(fs, plan)
+
+	if _, err := eng.AttemptStart("j", 0, 0, 0, true); err != nil {
+		t.Fatalf("tick 1 attempt failed early: %v", err)
+	}
+	// Tick 2: the kill fires against this attempt's node and must fail it.
+	if _, err := eng.AttemptStart("j", 1, 0, 3, true); err == nil {
+		t.Fatal("attempt on freshly killed node did not fail")
+	}
+	if eng.NodeAlive(3) {
+		t.Fatal("victim still alive")
+	}
+	if fs.NodeAlive(3) {
+		t.Fatal("kill did not propagate to the DFS")
+	}
+	st := eng.Stats()
+	if st.Kills != 1 || st.CrashedAttempts != 1 {
+		t.Fatalf("stats = %+v, want 1 kill, 1 crashed attempt", st)
+	}
+	// Replicas that lived on node 3 were healed onto survivors.
+	if err := fs.CheckPlacement(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKillNeverTakesLastNode(t *testing.T) {
+	fs := dfs.New(2, 1)
+	plan := Plan{Events: []Event{
+		{Tick: 1, Kind: Kill, On: OnAttempt, Node: VictimCurrent},
+		{Tick: 2, Kind: Kill, On: OnAttempt, Node: VictimCurrent},
+	}}
+	eng := New(fs, plan)
+	if _, err := eng.AttemptStart("j", 0, 0, 0, true); err == nil {
+		t.Fatal("first kill did not fire")
+	}
+	// The second kill is due but would take the last live node: deferred
+	// forever, every later attempt runs unharmed.
+	for i := 0; i < 5; i++ {
+		if _, err := eng.AttemptStart("j", i, 0, 1, true); err != nil {
+			t.Fatalf("attempt on last live node failed: %v", err)
+		}
+	}
+	st := eng.Stats()
+	if st.Kills != 1 {
+		t.Fatalf("Kills = %d, want 1", st.Kills)
+	}
+	if !eng.NodeAlive(1) {
+		t.Fatal("last node died")
+	}
+}
+
+func TestKillOnFetchLosesOutputAndRestartRevives(t *testing.T) {
+	fs := dfs.New(4, 2)
+	plan := Plan{Events: []Event{
+		{Tick: 1, Kind: Kill, On: OnFetch, Node: VictimCurrent},
+		{Tick: 2, Kind: Restart, On: OnAny, Node: VictimOldestDead},
+	}}
+	eng := New(fs, plan)
+	epoch := eng.NodeEpoch(2)
+	// The fetch of an output held by node 2 kills node 2: the fetch errors.
+	if err := eng.FetchError("j", 0, 2, 0); err == nil {
+		t.Fatal("fetch from freshly killed node succeeded")
+	}
+	if eng.NodeAlive(2) {
+		t.Fatal("fetch-triggered kill did not land")
+	}
+	// Retries of the same fetch do not advance the clock; they keep failing
+	// against the dead node.
+	if err := eng.FetchError("j", 0, 2, 1); err == nil {
+		t.Fatal("retry against dead node succeeded")
+	}
+	if eng.NodeAlive(2) {
+		t.Fatal("restart fired on a retry (clock advanced without a new fetch)")
+	}
+	// The next clock advance fires the restart.
+	if err := eng.FetchError("j", 1, 0, 0); err != nil {
+		t.Fatalf("fetch from healthy node failed: %v", err)
+	}
+	if !eng.NodeAlive(2) {
+		t.Fatal("restart did not revive the node")
+	}
+	if eng.NodeEpoch(2) == epoch {
+		t.Fatal("epoch unchanged across kill+restart — stale outputs would be trusted")
+	}
+	st := eng.Stats()
+	if st.Kills != 1 || st.Restarts != 1 {
+		t.Fatalf("stats = %+v, want 1 kill and 1 restart", st)
+	}
+}
+
+func TestSlowThenHeal(t *testing.T) {
+	plan := Plan{Events: []Event{
+		{Tick: 1, Kind: Slow, On: OnAttempt, Node: VictimCurrent, Delay: 30 * time.Millisecond},
+		{Tick: 2, Kind: Heal, On: OnAny, Node: VictimAll},
+	}}
+	eng := New(nil, plan)
+	d, err := eng.AttemptStart("j", 0, 0, 5, true)
+	if err != nil || d != 30*time.Millisecond {
+		t.Fatalf("triggering attempt delay = %v, %v; want 30ms", d, err)
+	}
+	// Next tick heals; same node runs full speed again.
+	d, err = eng.AttemptStart("j", 1, 0, 5, true)
+	if err != nil || d != 0 {
+		t.Fatalf("post-heal delay = %v, %v; want 0", d, err)
+	}
+	if st := eng.Stats(); st.SlowAttempts != 1 {
+		t.Fatalf("SlowAttempts = %d, want 1", st.SlowAttempts)
+	}
+}
+
+func TestTransientFetchSelectionDeterministic(t *testing.T) {
+	plan := Plan{Seed: 3, FetchFailEvery: 2}
+	eng := New(nil, plan)
+	eng2 := New(nil, plan)
+	hits := 0
+	for task := 0; task < 16; task++ {
+		e1 := eng.FetchError("job", task, 1, 0)
+		e2 := eng2.FetchError("job", task, 1, 0)
+		if (e1 == nil) != (e2 == nil) {
+			t.Fatalf("task %d: selection differs between engines", task)
+		}
+		if e1 != nil {
+			hits++
+			// Transient: the same fetch succeeds within the retry bound.
+			if err := eng.FetchError("job", task, 1, transientFetchFails); err != nil {
+				t.Fatalf("task %d still failing at try %d: %v", task, transientFetchFails, err)
+			}
+		}
+	}
+	if hits == 0 || hits == 16 {
+		t.Fatalf("hash selection hit %d/16 tasks, want a strict subset", hits)
+	}
+}
+
+// The acceptance-criteria integration test: kill 2 of 8 nodes mid-pipeline
+// (one via a task attempt, one via a shuffle fetch — losing completed map
+// outputs), inject a straggler and transient fetch errors, and require a
+// bit-identical inverse with every failure mode accounted.
+func TestSection74ExperimentEndToEnd(t *testing.T) {
+	res, err := RunExperiment(ExperimentConfig{
+		N: 96, NB: 24, Nodes: 8, Kill: 2, Seed: 1,
+		Restart: true, FetchFailEvery: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Identical {
+		t.Fatalf("inverse under chaos differs from fault-free run:\nbase %s\nchaos %s", res.Baseline.SHA256, res.Faulty.SHA256)
+	}
+	if res.Faulty.Residual > 1e-8 {
+		t.Fatalf("residual %g too large", res.Faulty.Residual)
+	}
+	if res.Chaos.Kills != 2 {
+		t.Fatalf("Kills = %d, want 2\nplan:\n%s", res.Chaos.Kills, res.Plan)
+	}
+	if res.Faulty.TaskFailures == 0 {
+		t.Fatal("no task failures under a 2-node kill schedule")
+	}
+	if res.Faulty.LostMapOutputs == 0 {
+		t.Fatal("fetch-triggered kill lost no completed map outputs")
+	}
+	if res.Faulty.SpeculativeTasks == 0 {
+		t.Fatal("injected straggler drove no speculative attempt")
+	}
+	if res.Faulty.FetchRetries == 0 {
+		t.Fatal("no fetch retries recorded")
+	}
+	if res.Chaos.BytesReReplicated == 0 || res.Faulty.BytesReReplicated == 0 {
+		t.Fatalf("no re-replication accounted (engine %d, report %d bytes)",
+			res.Chaos.BytesReReplicated, res.Faulty.BytesReReplicated)
+	}
+	if res.Faulty.ReplicasLost == 0 {
+		t.Fatal("no replica loss accounted")
+	}
+	if res.Chaos.Restarts == 0 {
+		t.Fatal("no restart fired despite Restart: true")
+	}
+	if res.Slowdown <= 0 {
+		t.Fatalf("slowdown = %v", res.Slowdown)
+	}
+	if !strings.Contains(res.Plan, "kill") {
+		t.Fatalf("plan dump missing kills:\n%s", res.Plan)
+	}
+}
+
+// Same seed, same experiment: identical fault schedule and bit-identical
+// inverse across invocations.
+func TestExperimentDeterministicAcrossRuns(t *testing.T) {
+	cfg := ExperimentConfig{N: 48, NB: 12, Nodes: 4, Kill: 1, Seed: 5, FetchFailEvery: 4}
+	r1, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Plan != r2.Plan {
+		t.Fatalf("plans differ:\n%s\nvs\n%s", r1.Plan, r2.Plan)
+	}
+	if r1.Faulty.SHA256 != r2.Faulty.SHA256 {
+		t.Fatal("same seed produced different inverses under chaos")
+	}
+	if !r1.Identical || !r2.Identical {
+		t.Fatalf("runs not bit-identical to baseline: %v %v", r1.Identical, r2.Identical)
+	}
+}
+
+func TestSlowdownCurve(t *testing.T) {
+	res, err := SlowdownCurve(ExperimentConfig{N: 48, NB: 12, Nodes: 4, Seed: 2}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("curve has %d points, want 2", len(res))
+	}
+	for _, r := range res {
+		if !r.Identical {
+			t.Fatalf("kill=%d: inverse differs from baseline", r.Config.Kill)
+		}
+	}
+	if res[1].Chaos.Kills != 1 {
+		t.Fatalf("kill=1 point recorded %d kills", res[1].Chaos.Kills)
+	}
+}

@@ -70,6 +70,8 @@ type Report struct {
 	ReduceTasks    int              // total reduce tasks across jobs
 	TaskFailures   int              // failed task attempts (recovered)
 	Speculative    int              // speculative backup attempts launched
+	LostMapOutputs int              // completed map outputs lost to node deaths and re-executed
+	FetchRetries   int              // shuffle-fetch retries (transient errors, dying nodes)
 	MasterLUs      int              // leaf decompositions on the master
 	MasterCombines int              // file combinations (SeparateFiles=false)
 	LFactorFiles   int              // files storing L (N(d) when separate)
@@ -97,6 +99,8 @@ type pipelineState struct {
 	reduceTasks          int
 	taskFailures         int
 	speculative          int
+	lostMapOutputs       int
+	fetchRetries         int
 	masterDecompositions int
 	masterCombines       int
 	counters             map[string]int64
@@ -127,6 +131,8 @@ func (st *pipelineState) recordJob(jr *mapreduce.JobResult) {
 	st.reduceTasks += jr.ReduceTasks
 	st.taskFailures += jr.TaskFailures
 	st.speculative += jr.SpeculativeTasks
+	st.lostMapOutputs += jr.LostMapOutputs
+	st.fetchRetries += jr.FetchRetries
 	st.jobElapsed += jr.Elapsed
 	st.slotWait += jr.SlotWait
 	st.slotGrants += jr.SlotGrants
@@ -271,6 +277,8 @@ func (p *Pipeline) InvertCtx(ctx context.Context, a *matrix.Dense) (*matrix.Dens
 		ReduceTasks:    st.reduceTasks,
 		TaskFailures:   st.taskFailures,
 		Speculative:    st.speculative,
+		LostMapOutputs: st.lostMapOutputs,
+		FetchRetries:   st.fetchRetries,
 		MasterLUs:      st.masterDecompositions,
 		Counters:       st.counters,
 		Jobs:           st.jobLog,
@@ -282,13 +290,16 @@ func (p *Pipeline) InvertCtx(ctx context.Context, a *matrix.Dense) (*matrix.Dens
 		SlotGrants:     st.slotGrants,
 		Trace:          st.span,
 		FS: dfs.Stats{
-			BytesWritten:     after.BytesWritten - statsBefore.BytesWritten,
-			BytesReplicated:  after.BytesReplicated - statsBefore.BytesReplicated,
-			BytesRead:        after.BytesRead - statsBefore.BytesRead,
-			BytesTransferred: after.BytesTransferred - statsBefore.BytesTransferred,
-			FilesCreated:     after.FilesCreated - statsBefore.FilesCreated,
-			ReadOps:          after.ReadOps - statsBefore.ReadOps,
-			WriteOps:         after.WriteOps - statsBefore.WriteOps,
+			BytesWritten:      after.BytesWritten - statsBefore.BytesWritten,
+			BytesReplicated:   after.BytesReplicated - statsBefore.BytesReplicated,
+			BytesRead:         after.BytesRead - statsBefore.BytesRead,
+			BytesTransferred:  after.BytesTransferred - statsBefore.BytesTransferred,
+			FilesCreated:      after.FilesCreated - statsBefore.FilesCreated,
+			ReadOps:           after.ReadOps - statsBefore.ReadOps,
+			WriteOps:          after.WriteOps - statsBefore.WriteOps,
+			ReplicasLost:      after.ReplicasLost - statsBefore.ReplicasLost,
+			ReReplications:    after.ReReplications - statsBefore.ReReplications,
+			BytesReReplicated: after.BytesReReplicated - statsBefore.BytesReReplicated,
 		},
 	}
 	rep.F1, rep.F2 = FactorPair(p.Opts.Nodes)

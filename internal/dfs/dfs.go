@@ -30,6 +30,16 @@ var (
 	// ErrCorrupt is returned when every replica of a file fails its
 	// checksum.
 	ErrCorrupt = errors.New("dfs: all replicas corrupt")
+	// ErrNoReplica is returned when every datanode holding the file has
+	// died before re-replication could restore a copy — the data is gone,
+	// as it would be on HDFS after losing all replica holders.
+	ErrNoReplica = errors.New("dfs: no live replica")
+	// ErrLastNode rejects killing the only live datanode: a cluster with
+	// zero nodes cannot make progress or heal.
+	ErrLastNode = errors.New("dfs: cannot kill the last live node")
+	// ErrNodeState reports an invalid kill/restart transition (killing a
+	// dead node, restarting a live one, or an out-of-range node id).
+	ErrNodeState = errors.New("dfs: invalid node state transition")
 )
 
 // DefaultReplication mirrors HDFS's default replication factor of 3, which
@@ -65,6 +75,14 @@ type Stats struct {
 	// CorruptionsHealed counts reads that found a corrupt replica and
 	// served (and restored it from) a healthy one.
 	CorruptionsHealed int64
+	// ReplicasLost counts replicas dropped because their datanode died.
+	ReplicasLost int64
+	// ReReplications counts replica copies made by ReReplicate to restore
+	// the replication factor after node deaths.
+	ReReplications int64
+	// BytesReReplicated counts the bytes those healing copies moved across
+	// the network (also charged to BytesTransferred).
+	BytesReReplicated int64
 }
 
 // FS is the simulated distributed file system.
@@ -75,6 +93,10 @@ type FS struct {
 	replication int
 	nextNode    int
 	stats       Stats
+	// alive[i] reports whether datanode i is up. Dead nodes hold no
+	// replicas (their copies are dropped when they die, like blocks on a
+	// dead HDFS datanode) and receive no new placements until restarted.
+	alive []bool
 	// nodeRead[i] / nodeWritten[i] are the byte flows through datanode i:
 	// bytes read by a task running on node i, and bytes landed on node i
 	// as a replica. masterRead accounts node-less (driver) reads.
@@ -85,6 +107,7 @@ type FS struct {
 	metrics struct {
 		bytesRead, bytesWritten, bytesTransferred *obs.Counter
 		readOps, writeOps                         *obs.Counter
+		bytesReReplicated                         *obs.Counter
 	}
 	// injectReadErr, when non-nil, is consulted on every read; a non-nil
 	// return aborts the read (a transient datanode failure). Set with
@@ -102,6 +125,7 @@ func (fs *FS) SetMetrics(reg *obs.Registry) {
 	fs.metrics.bytesTransferred = reg.Counter("dfs.bytes_transferred")
 	fs.metrics.readOps = reg.Counter("dfs.read_ops")
 	fs.metrics.writeOps = reg.Counter("dfs.write_ops")
+	fs.metrics.bytesReReplicated = reg.Counter("dfs.bytes_rereplicated")
 	fs.mu.Unlock()
 }
 
@@ -182,12 +206,17 @@ func New(nodes, replication int) *FS {
 	if replication > nodes {
 		replication = nodes
 	}
+	alive := make([]bool, nodes)
+	for i := range alive {
+		alive[i] = true
+	}
 	return &FS{
 		files:       make(map[string]*file),
 		nodes:       nodes,
 		replication: replication,
 		nodeRead:    make([]int64, nodes),
 		nodeWritten: make([]int64, nodes),
+		alive:       alive,
 	}
 }
 
@@ -217,6 +246,11 @@ func (fs *FS) Write(path string, data []byte) {
 		fs.files[path] = f
 		fs.stats.FilesCreated++
 	}
+	if len(f.replicas) == 0 {
+		// Every holder died since the file was written; a rewrite places
+		// it fresh on live nodes.
+		f.replicas = fs.placeLocked()
+	}
 	f.copies = make([][]byte, len(f.replicas))
 	for i := range f.copies {
 		f.copies[i] = append([]byte(nil), data...)
@@ -235,11 +269,32 @@ func (fs *FS) Write(path string, data []byte) {
 	fs.metrics.bytesTransferred.Add(int64(len(data) * (len(f.replicas) - 1)))
 }
 
-// placeLocked chooses replica nodes for a new file round-robin.
+// placeLocked chooses replica nodes for a new file round-robin over the
+// live datanodes, never placing two replicas of one file on the same node
+// and never on a dead one. The replica count is capped at the live node
+// count.
 func (fs *FS) placeLocked() []int {
-	reps := make([]int, fs.replication)
-	for i := range reps {
-		reps[i] = (fs.nextNode + i) % fs.nodes
+	return fs.placeAvoidingLocked(fs.replication, nil)
+}
+
+// placeAvoidingLocked picks up to want distinct live nodes, skipping any
+// node in avoid (existing replica holders, during re-replication). Scans
+// round-robin from nextNode so placements stay spread.
+func (fs *FS) placeAvoidingLocked(want int, avoid []int) []int {
+	avoided := func(n int) bool {
+		for _, a := range avoid {
+			if a == n {
+				return true
+			}
+		}
+		return false
+	}
+	var reps []int
+	for off := 0; off < fs.nodes && len(reps) < want; off++ {
+		n := (fs.nextNode + off) % fs.nodes
+		if fs.alive[n] && !avoided(n) {
+			reps = append(reps, n)
+		}
 	}
 	fs.nextNode = (fs.nextNode + 1) % fs.nodes
 	return reps
@@ -286,6 +341,10 @@ func (fs *FS) readInternal(path string, node int) ([]byte, error) {
 	if !ok {
 		fs.mu.Unlock()
 		return nil, fmt.Errorf("%s: %w", path, ErrNotFound)
+	}
+	if len(f.replicas) == 0 {
+		fs.mu.Unlock()
+		return nil, fmt.Errorf("%s: %w", path, ErrNoReplica)
 	}
 	f.readers++
 	if f.readers > f.maxReaders {
@@ -522,3 +581,177 @@ func (fs *FS) ResetStats() {
 
 // Nodes returns the number of simulated datanodes.
 func (fs *FS) Nodes() int { return fs.nodes }
+
+// ---- Node failure model ----
+//
+// The paper's Section 7.4 robustness claim rests on HDFS surviving
+// datanode deaths: replicas on a dead node are lost, the namenode notices
+// under-replicated blocks and copies them back up to the replication
+// factor on the surviving nodes, and new placements avoid dead nodes. The
+// methods below reproduce exactly that observable contract; the chaos
+// engine drives them on a deterministic schedule.
+
+// KillNode marks datanode n dead and drops every replica it held (the
+// blocks die with the machine). Files whose last replica was on n become
+// unreadable (ErrNoReplica) until rewritten. Killing the only live node
+// is rejected with ErrLastNode.
+func (fs *FS) KillNode(n int) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if n < 0 || n >= fs.nodes || !fs.alive[n] {
+		return fmt.Errorf("dfs: KillNode %d: %w", n, ErrNodeState)
+	}
+	if fs.aliveCountLocked() <= 1 {
+		return fmt.Errorf("dfs: KillNode %d: %w", n, ErrLastNode)
+	}
+	fs.alive[n] = false
+	for _, f := range fs.files {
+		for i := 0; i < len(f.replicas); i++ {
+			if f.replicas[i] == n {
+				f.replicas = append(f.replicas[:i], f.replicas[i+1:]...)
+				f.copies = append(f.copies[:i], f.copies[i+1:]...)
+				fs.stats.ReplicasLost++
+				i--
+			}
+		}
+	}
+	return nil
+}
+
+// RestartNode brings datanode n back up, empty: its pre-death replicas
+// are gone (they were dropped at kill time), but it can hold new
+// placements and re-replication targets again.
+func (fs *FS) RestartNode(n int) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if n < 0 || n >= fs.nodes || fs.alive[n] {
+		return fmt.Errorf("dfs: RestartNode %d: %w", n, ErrNodeState)
+	}
+	fs.alive[n] = true
+	return nil
+}
+
+// NodeAlive reports whether datanode n is up.
+func (fs *FS) NodeAlive(n int) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return n >= 0 && n < fs.nodes && fs.alive[n]
+}
+
+// AliveNodes returns the number of live datanodes.
+func (fs *FS) AliveNodes() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.aliveCountLocked()
+}
+
+func (fs *FS) aliveCountLocked() int {
+	n := 0
+	for _, a := range fs.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// ReReplicate restores every under-replicated file back up to the
+// replication factor (capped at the live node count) by copying from a
+// surviving replica — HDFS's namenode-driven background healing, run
+// synchronously here so chaos schedules stay deterministic. Files are
+// healed in sorted path order; each copy is charged to ReReplications,
+// BytesReReplicated, and BytesTransferred. Returns the number of replica
+// copies made and the bytes moved.
+func (fs *FS) ReReplicate() (copies int, bytes int64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	want := fs.replication
+	if live := fs.aliveCountLocked(); want > live {
+		want = live
+	}
+	paths := make([]string, 0, len(fs.files))
+	for p := range fs.files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		f := fs.files[p]
+		if len(f.replicas) == 0 || len(f.replicas) >= want {
+			continue // lost entirely, or already at factor
+		}
+		targets := fs.placeAvoidingLocked(want-len(f.replicas), f.replicas)
+		for _, t := range targets {
+			data := append([]byte(nil), f.copies[0]...)
+			f.replicas = append(f.replicas, t)
+			f.copies = append(f.copies, data)
+			fs.nodeWritten[t] += int64(len(data))
+			fs.stats.ReReplications++
+			fs.stats.BytesReReplicated += int64(len(data))
+			fs.stats.BytesTransferred += int64(len(data))
+			fs.metrics.bytesReReplicated.Add(int64(len(data)))
+			fs.metrics.bytesTransferred.Add(int64(len(data)))
+			copies++
+			bytes += int64(len(data))
+		}
+	}
+	return copies, bytes
+}
+
+// NodeStat is one datanode's stored state and cumulative byte flow.
+type NodeStat struct {
+	Node  int   `json:"node"`
+	Alive bool  `json:"alive"`
+	Files int   `json:"files"` // replicas currently held
+	Bytes int64 `json:"bytes"` // bytes currently stored
+	// BytesRead / BytesWritten are the flow counters also reported by
+	// PerNodeIO: bytes read by tasks on this node, bytes landed on it.
+	BytesRead    int64 `json:"bytes_read"`
+	BytesWritten int64 `json:"bytes_written"`
+}
+
+// NodeStats returns per-node storage and flow accounting, in node order —
+// the view that validates re-replication really moved data off dead nodes
+// and spread it over the survivors.
+func (fs *FS) NodeStats() []NodeStat {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]NodeStat, fs.nodes)
+	for i := range out {
+		out[i] = NodeStat{Node: i, Alive: fs.alive[i],
+			BytesRead: fs.nodeRead[i], BytesWritten: fs.nodeWritten[i]}
+	}
+	for _, f := range fs.files {
+		for i, r := range f.replicas {
+			out[r].Files++
+			out[r].Bytes += int64(len(f.copies[i]))
+		}
+	}
+	return out
+}
+
+// CheckPlacement verifies the replica placement invariants: no file holds
+// two replicas on the same node, and no replica sits on a dead node.
+// Returns the first violation found (nil when clean).
+func (fs *FS) CheckPlacement() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	paths := make([]string, 0, len(fs.files))
+	for p := range fs.files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		f := fs.files[p]
+		seen := map[int]bool{}
+		for _, r := range f.replicas {
+			if seen[r] {
+				return fmt.Errorf("dfs: %s: two replicas on node %d", p, r)
+			}
+			seen[r] = true
+			if !fs.alive[r] {
+				return fmt.Errorf("dfs: %s: replica on dead node %d", p, r)
+			}
+		}
+	}
+	return nil
+}

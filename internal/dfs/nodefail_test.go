@@ -1,0 +1,202 @@
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestKillNodeDropsReplicasAndRereplicates(t *testing.T) {
+	fs := New(5, 3)
+	for i := 0; i < 10; i++ {
+		fs.Write(fmt.Sprintf("d/%d", i), make([]byte, 1000))
+	}
+	if err := fs.CheckPlacement(); err != nil {
+		t.Fatal(err)
+	}
+	before := fs.Stats()
+	if err := fs.KillNode(2); err != nil {
+		t.Fatal(err)
+	}
+	after := fs.Stats()
+	if after.ReplicasLost == before.ReplicasLost {
+		t.Fatal("no replicas lost by killing a populated node")
+	}
+	// Every file must still be readable from the surviving replicas.
+	for i := 0; i < 10; i++ {
+		if _, err := fs.Read(fmt.Sprintf("d/%d", i)); err != nil {
+			t.Fatalf("read after kill: %v", err)
+		}
+	}
+	copies, bytes := fs.ReReplicate()
+	if copies == 0 || bytes == 0 {
+		t.Fatalf("ReReplicate() = %d copies, %d bytes; want > 0", copies, bytes)
+	}
+	if got := fs.Stats().BytesReReplicated; got != bytes {
+		t.Fatalf("BytesReReplicated = %d, want %d", got, bytes)
+	}
+	// Healed back to factor 3, with the invariants intact: distinct nodes,
+	// none dead.
+	for i := 0; i < 10; i++ {
+		reps, err := fs.Replicas(fmt.Sprintf("d/%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reps) != 3 {
+			t.Fatalf("d/%d has %d replicas after heal, want 3", i, len(reps))
+		}
+	}
+	if err := fs.CheckPlacement(); err != nil {
+		t.Fatal(err)
+	}
+	// A second ReReplicate is a no-op: nothing under-replicated.
+	if copies, _ := fs.ReReplicate(); copies != 0 {
+		t.Fatalf("second ReReplicate made %d copies", copies)
+	}
+}
+
+func TestPlacementAvoidsDeadNodesAndNeverDoublesUp(t *testing.T) {
+	fs := New(6, 3)
+	if err := fs.KillNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.KillNode(4); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		fs.Write(fmt.Sprintf("p/%d", i), []byte("data"))
+	}
+	for i := 0; i < 50; i++ {
+		reps, err := fs.Replicas(fmt.Sprintf("p/%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reps) != 3 {
+			t.Fatalf("p/%d: %d replicas, want 3", i, len(reps))
+		}
+		seen := map[int]bool{}
+		for _, r := range reps {
+			if r == 1 || r == 4 {
+				t.Fatalf("p/%d placed on dead node %d", i, r)
+			}
+			if seen[r] {
+				t.Fatalf("p/%d holds two replicas on node %d", i, r)
+			}
+			seen[r] = true
+		}
+	}
+	if err := fs.CheckPlacement(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllReplicasLostThenRewrite(t *testing.T) {
+	fs := New(3, 2)
+	fs.Write("x", []byte("payload"))
+	reps, _ := fs.Replicas("x")
+	for _, r := range reps {
+		if err := fs.KillNode(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := fs.Read("x"); !errors.Is(err, ErrNoReplica) {
+		t.Fatalf("read of fully-lost file = %v, want ErrNoReplica", err)
+	}
+	// ReReplicate cannot resurrect a file with zero sources.
+	if copies, _ := fs.ReReplicate(); copies != 0 {
+		t.Fatalf("ReReplicate resurrected a dead file (%d copies)", copies)
+	}
+	// A rewrite places it fresh on the survivors.
+	fs.Write("x", []byte("payload2"))
+	got, err := fs.Read("x")
+	if err != nil || string(got) != "payload2" {
+		t.Fatalf("read after rewrite = %q, %v", got, err)
+	}
+	if err := fs.CheckPlacement(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKillRestartTransitions(t *testing.T) {
+	fs := New(2, 1)
+	if err := fs.KillNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.KillNode(0); !errors.Is(err, ErrNodeState) {
+		t.Fatalf("double kill = %v, want ErrNodeState", err)
+	}
+	if err := fs.KillNode(1); !errors.Is(err, ErrLastNode) {
+		t.Fatalf("killing last node = %v, want ErrLastNode", err)
+	}
+	if err := fs.RestartNode(1); !errors.Is(err, ErrNodeState) {
+		t.Fatalf("restarting live node = %v, want ErrNodeState", err)
+	}
+	if err := fs.RestartNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.NodeAlive(0) || fs.AliveNodes() != 2 {
+		t.Fatalf("node 0 alive=%v, alive count=%d", fs.NodeAlive(0), fs.AliveNodes())
+	}
+	if err := fs.KillNode(7); !errors.Is(err, ErrNodeState) {
+		t.Fatalf("killing unknown node = %v, want ErrNodeState", err)
+	}
+}
+
+func TestNodeStatsAccountStorageAndFlow(t *testing.T) {
+	fs := New(4, 2)
+	fs.Write("a", make([]byte, 100))
+	fs.Write("b", make([]byte, 50))
+	stats := fs.NodeStats()
+	if len(stats) != 4 {
+		t.Fatalf("NodeStats len = %d", len(stats))
+	}
+	var files int
+	var bytes int64
+	for _, ns := range stats {
+		if !ns.Alive {
+			t.Fatalf("node %d reported dead", ns.Node)
+		}
+		files += ns.Files
+		bytes += ns.Bytes
+	}
+	if files != 4 { // 2 files x 2 replicas
+		t.Fatalf("total replicas = %d, want 4", files)
+	}
+	if bytes != 300 { // (100+50) x 2
+		t.Fatalf("total stored bytes = %d, want 300", bytes)
+	}
+	// Killing a node moves its storage accounting to zero.
+	if err := fs.KillNode(stats[0].Node); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.NodeStats()[stats[0].Node]; got.Files != 0 || got.Bytes != 0 || got.Alive {
+		t.Fatalf("dead node still accounts storage: %+v", got)
+	}
+}
+
+func TestRestartedNodeIsEmptyButPlaceable(t *testing.T) {
+	fs := New(3, 3)
+	fs.Write("f", make([]byte, 10))
+	if err := fs.KillNode(1); err != nil {
+		t.Fatal(err)
+	}
+	fs.ReReplicate() // want capped at 2 live nodes; nothing to do beyond that
+	if err := fs.RestartNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.NodeStats()[1]; got.Files != 0 {
+		t.Fatalf("restarted node retained %d replicas", got.Files)
+	}
+	// Now under-replicated relative to 3 live nodes: heal tops it back up.
+	copies, _ := fs.ReReplicate()
+	if copies != 1 {
+		t.Fatalf("heal after restart made %d copies, want 1", copies)
+	}
+	reps, _ := fs.Replicas("f")
+	if len(reps) != 3 {
+		t.Fatalf("replicas after restart+heal = %d, want 3", len(reps))
+	}
+	if err := fs.CheckPlacement(); err != nil {
+		t.Fatal(err)
+	}
+}

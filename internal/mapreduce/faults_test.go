@@ -1,0 +1,335 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dfs"
+)
+
+// fakePlane is a scriptable FaultPlane for engine-level tests: node
+// liveness and epochs live behind a mutex, and the onAttempt/onFetch hooks
+// script when faults fire.
+type fakePlane struct {
+	mu        sync.Mutex
+	alive     []bool
+	epoch     []int64
+	onAttempt func(p *fakePlane, job string, task, attempt, node int, isMap bool) (time.Duration, error)
+	onFetch   func(p *fakePlane, job string, task, node, try int) error
+}
+
+func newFakePlane(nodes int) *fakePlane {
+	p := &fakePlane{alive: make([]bool, nodes), epoch: make([]int64, nodes)}
+	for i := range p.alive {
+		p.alive[i] = true
+	}
+	return p
+}
+
+// killLocked marks a node dead and bumps its epoch. Callers hold p.mu
+// (the hooks run under it).
+func (p *fakePlane) killLocked(node int) {
+	p.alive[node] = false
+	p.epoch[node]++
+}
+
+func (p *fakePlane) NodeAlive(node int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.alive[node]
+}
+
+func (p *fakePlane) NodeEpoch(node int) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.epoch[node]
+}
+
+func (p *fakePlane) AttemptStart(job string, task, attempt, node int, isMap bool) (time.Duration, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.onAttempt != nil {
+		return p.onAttempt(p, job, task, attempt, node, isMap)
+	}
+	return 0, nil
+}
+
+func (p *fakePlane) FetchError(job string, task, node, try int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.onFetch != nil {
+		return p.onFetch(p, job, task, node, try)
+	}
+	return nil
+}
+
+// countedWordCount is wordCountJob plus per-phase counters, so tests can
+// assert successful-attempt accounting under re-execution.
+func countedWordCount(docs []string, reducers int) *Job {
+	job := wordCountJob(docs, reducers)
+	innerMap := job.Map
+	job.Map = func(ctx *TaskContext, split InputSplit, emit Emitter) error {
+		ctx.IncrCounter("maps", 1)
+		return innerMap(ctx, split, emit)
+	}
+	innerReduce := job.Reduce
+	job.Reduce = func(ctx *TaskContext, key string, values [][]byte, emit Emitter) error {
+		ctx.IncrCounter("reduce_keys", 1)
+		return innerReduce(ctx, key, values, emit)
+	}
+	return job
+}
+
+// Satellite: the reduce-phase retry path. A reduce attempt that fails via
+// InjectFailure must be retried and the job must still produce correct
+// output with the failure accounted.
+func TestReduceRetryOnInjectedFailure(t *testing.T) {
+	c := NewCluster(dfs.New(4, 2), 4)
+	c.InjectFailure = func(job string, taskID, attempt int, isMap bool) error {
+		if !isMap && taskID == 1 && attempt == 0 {
+			return fmt.Errorf("injected reduce failure")
+		}
+		return nil
+	}
+	res, err := c.Run(countedWordCount([]string{"a b a", "b c", "a c c"}, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := outputMap(t, res)
+	want := map[string]string{"a": "3", "b": "2", "c": "3"}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("count[%s] = %s, want %s (all: %v)", k, got[k], v, got)
+		}
+	}
+	if res.TaskFailures != 1 {
+		t.Fatalf("TaskFailures = %d, want 1", res.TaskFailures)
+	}
+	// Counters from the failed reduce attempt are discarded.
+	if res.Counters["reduce_keys"] != 3 {
+		t.Fatalf("reduce_keys counter = %d, want 3", res.Counters["reduce_keys"])
+	}
+}
+
+// Satellite: reduce-phase attempt exhaustion surfaces ErrTooManyFailures
+// wrapped in a reduce-phase error.
+func TestReduceTooManyFailures(t *testing.T) {
+	c := NewCluster(dfs.New(4, 2), 4)
+	c.DefaultMaxAttempts = 3
+	c.InjectFailure = func(job string, taskID, attempt int, isMap bool) error {
+		if !isMap && taskID == 0 {
+			return fmt.Errorf("persistent reduce failure")
+		}
+		return nil
+	}
+	_, err := c.Run(wordCountJob([]string{"a b", "c d"}, 2))
+	if !errors.Is(err, ErrTooManyFailures) {
+		t.Fatalf("err = %v, want ErrTooManyFailures", err)
+	}
+	if want := "reduce phase"; err == nil || !strings.Contains(err.Error(), want) {
+		t.Fatalf("err = %v, want mention of %q", err, want)
+	}
+}
+
+// A node that is dead before the job starts must execute nothing; the
+// remaining nodes absorb its work.
+func TestDeadNodeRunsNothing(t *testing.T) {
+	c := NewCluster(dfs.New(4, 2), 4)
+	plane := newFakePlane(4)
+	plane.killLocked(2)
+	c.Faults = plane
+
+	var mu sync.Mutex
+	nodesUsed := map[int]bool{}
+	job := wordCountJob([]string{"a b", "c d", "e f", "g h", "i j", "k l"}, 3)
+	innerMap := job.Map
+	job.Map = func(ctx *TaskContext, split InputSplit, emit Emitter) error {
+		mu.Lock()
+		nodesUsed[ctx.Node] = true
+		mu.Unlock()
+		return innerMap(ctx, split, emit)
+	}
+	innerReduce := job.Reduce
+	job.Reduce = func(ctx *TaskContext, key string, values [][]byte, emit Emitter) error {
+		mu.Lock()
+		nodesUsed[ctx.Node] = true
+		mu.Unlock()
+		return innerReduce(ctx, key, values, emit)
+	}
+	res, err := c.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 12 {
+		t.Fatalf("output = %d keys, want 12", len(res.Output))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if nodesUsed[2] {
+		t.Fatal("an attempt executed on the dead node")
+	}
+	if len(nodesUsed) == 0 {
+		t.Fatal("no attempts recorded")
+	}
+}
+
+// An attempt whose node dies while it runs fails with ErrNodeLost and is
+// re-executed on a surviving node.
+func TestNodeLostMidAttemptRetried(t *testing.T) {
+	c := NewCluster(dfs.New(4, 2), 4)
+	plane := newFakePlane(4)
+	killed := false
+	plane.onAttempt = func(p *fakePlane, job string, task, attempt, node int, isMap bool) (time.Duration, error) {
+		// The first map attempt's own start kills its node: the epoch
+		// changes under the running attempt, which must then fail.
+		if isMap && !killed {
+			killed = true
+			p.killLocked(node)
+		}
+		return 0, nil
+	}
+	c.Faults = plane
+	res, err := c.Run(countedWordCount([]string{"a b a", "b c", "a"}, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := outputMap(t, res)
+	want := map[string]string{"a": "3", "b": "2", "c": "1"}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("count[%s] = %s, want %s", k, got[k], v)
+		}
+	}
+	if res.TaskFailures < 1 {
+		t.Fatal("node loss not charged as a task failure")
+	}
+	// The killed attempt's counters were discarded: exactly one successful
+	// attempt per map task is counted.
+	if res.Counters["maps"] != 3 {
+		t.Fatalf("maps counter = %d, want 3", res.Counters["maps"])
+	}
+}
+
+// A completed map output whose node dies before the shuffle is lost; the
+// map task re-executes and the job still produces correct output, with the
+// loss accounted in LostMapOutputs/TaskFailures and the superseded
+// attempt's counters retired.
+func TestLostMapOutputReexecuted(t *testing.T) {
+	c := NewCluster(dfs.New(4, 2), 4)
+	plane := newFakePlane(4)
+	killed := false
+	plane.onFetch = func(p *fakePlane, job string, task, node, try int) error {
+		// The first fetch of map output 0 discovers its node crashed.
+		if task == 0 && !killed {
+			killed = true
+			p.killLocked(node)
+		}
+		if !p.alive[node] {
+			return fmt.Errorf("fetch: node %d unreachable", node)
+		}
+		return nil
+	}
+	c.Faults = plane
+	res, err := c.Run(countedWordCount([]string{"a b a", "b c", "a c c"}, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := outputMap(t, res)
+	want := map[string]string{"a": "3", "b": "2", "c": "3"}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("count[%s] = %s, want %s (all: %v)", k, got[k], v, got)
+		}
+	}
+	// At least output 0 is lost; other outputs produced by the same node
+	// (scheduling-dependent) are lost with it.
+	if res.LostMapOutputs < 1 || res.LostMapOutputs > res.MapTasks {
+		t.Fatalf("LostMapOutputs = %d, want 1..%d", res.LostMapOutputs, res.MapTasks)
+	}
+	if res.FetchRetries < 1 {
+		t.Fatal("no fetch retries recorded")
+	}
+	if res.TaskFailures < 1 {
+		t.Fatal("lost output not charged as a task failure")
+	}
+	// Retirement: the re-executed map replaces the lost attempt's
+	// counters instead of double counting.
+	if res.Counters["maps"] != 3 {
+		t.Fatalf("maps counter = %d, want 3 (lost attempt not retired?)", res.Counters["maps"])
+	}
+}
+
+// Transient fetch errors are retried with backoff and do not lose outputs
+// or re-execute maps.
+func TestTransientFetchErrorsRetryInPlace(t *testing.T) {
+	c := NewCluster(dfs.New(4, 2), 4)
+	plane := newFakePlane(4)
+	plane.onFetch = func(p *fakePlane, job string, task, node, try int) error {
+		if try < 2 {
+			return fmt.Errorf("transient fetch error")
+		}
+		return nil
+	}
+	c.Faults = plane
+	res, err := c.Run(wordCountJob([]string{"a b a", "b c", "a"}, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each of the 3 map outputs errors on tries 0 and 1, succeeds on 2.
+	if res.FetchRetries != 6 {
+		t.Fatalf("FetchRetries = %d, want 6", res.FetchRetries)
+	}
+	if res.LostMapOutputs != 0 || res.TaskFailures != 0 {
+		t.Fatalf("transient errors escalated: lost=%d failures=%d", res.LostMapOutputs, res.TaskFailures)
+	}
+	got := outputMap(t, res)
+	if got["a"] != "3" || got["b"] != "2" || got["c"] != "1" {
+		t.Fatalf("wrong output: %v", got)
+	}
+}
+
+// Straggler injection through AttemptStart delay drives the existing
+// speculative-execution path.
+func TestInjectedStragglerDrivesSpeculation(t *testing.T) {
+	c := NewCluster(dfs.New(4, 1), 4)
+	c.Speculative = true
+	c.SpeculativeSlack = 20 * time.Millisecond
+	c.SpeculativeRatio = 2
+	plane := newFakePlane(4)
+	plane.onAttempt = func(p *fakePlane, job string, task, attempt, node int, isMap bool) (time.Duration, error) {
+		if isMap && task == 0 && attempt == 0 {
+			return 2 * time.Second, nil
+		}
+		return 0, nil
+	}
+	c.Faults = plane
+
+	job := &Job{
+		Name:   "chaos-straggler",
+		Splits: ControlSplits(6),
+		Map: func(ctx *TaskContext, split InputSplit, emit Emitter) error {
+			time.Sleep(2 * time.Millisecond)
+			emit.Emit(strconv.Itoa(split.ID), nil)
+			return nil
+		},
+	}
+	start := time.Now()
+	res, err := c.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 1500*time.Millisecond {
+		t.Fatalf("speculation did not rescue the injected straggler (took %v)", time.Since(start))
+	}
+	if res.SpeculativeTasks == 0 {
+		t.Fatal("no speculative task recorded")
+	}
+	if len(res.Output) != 6 {
+		t.Fatalf("output = %d keys, want 6", len(res.Output))
+	}
+}

@@ -40,6 +40,44 @@ var ErrTooManyFailures = errors.New("mapreduce: task failed too many times")
 // alongside it, so errors.Is matches either.
 var ErrJobCanceled = errors.New("mapreduce: job canceled")
 
+// ErrNodeLost marks a task attempt whose simulated node died (or died and
+// restarted — either way the attempt's output is gone) before the attempt
+// finished. Such attempts are charged as ordinary task failures and
+// re-executed elsewhere, the Hadoop TaskTracker-lost semantics.
+var ErrNodeLost = errors.New("mapreduce: node lost during attempt")
+
+// FaultPlane is the engine's view of a fault injector (internal/chaos
+// provides the real one). All methods must be safe for concurrent use.
+//
+// The engine consults it at three points:
+//
+//   - workers skip dead nodes (NodeAlive) instead of launching attempts
+//     there, the way a JobTracker stops granting slots on a lost tracker;
+//   - every task attempt calls AttemptStart when it begins — the injector
+//     may delay the attempt (straggler injection) or fail it outright
+//     (crash injection) — and on completion the attempt is failed with
+//     ErrNodeLost if its node's epoch changed while it ran;
+//   - before the shuffle consumes a map output, FetchError simulates the
+//     reducer's HTTP fetch of that output from the node that produced it;
+//     errors are retried with bounded backoff and a node that stays
+//     unreachable loses the output, forcing map re-execution.
+type FaultPlane interface {
+	// NodeAlive reports whether the node is currently up.
+	NodeAlive(node int) bool
+	// NodeEpoch returns the node's incarnation number; it changes every
+	// time the node is killed, so an attempt that spans a change knows its
+	// output died with the old incarnation.
+	NodeEpoch(node int) int64
+	// AttemptStart is called as a task attempt begins executing on node.
+	// It returns an artificial execution delay (straggler injection) and,
+	// when non-nil, an error that fails the attempt immediately.
+	AttemptStart(job string, task, attempt, node int, isMap bool) (time.Duration, error)
+	// FetchError simulates one shuffle fetch of task's map output from
+	// node; try counts retries of the same fetch (0 = first). A non-nil
+	// error makes the engine back off and retry, up to maxFetchTries.
+	FetchError(job string, task, node, try int) error
+}
+
 // KV is one key/value pair flowing through the shuffle.
 type KV struct {
 	Key   string
@@ -147,7 +185,13 @@ type JobResult struct {
 	TaskFailures int
 	// SpeculativeTasks counts backup attempts launched for stragglers.
 	SpeculativeTasks int
-	ShuffledKVs      int
+	// LostMapOutputs counts completed map outputs that became unreadable
+	// (their node died) and forced the map task to re-execute.
+	LostMapOutputs int
+	// FetchRetries counts shuffle-fetch retries caused by transient fetch
+	// errors or dying nodes.
+	FetchRetries int
+	ShuffledKVs  int
 	// Counters aggregates TaskContext.IncrCounter values from successful
 	// attempts.
 	Counters map[string]int64
@@ -182,6 +226,9 @@ type Cluster struct {
 	DefaultMaxAttempts int
 	// InjectFailure, when non-nil, is consulted before each task attempt.
 	InjectFailure FailureInjector
+	// Faults, when non-nil, injects node-level failures (crashes,
+	// restarts, stragglers, shuffle-fetch errors); see FaultPlane.
+	Faults FaultPlane
 	// Speculative enables Hadoop-style speculative execution: when idle
 	// slots exist, a backup attempt is launched for any task that has run
 	// longer than SpeculativeSlack and longer than SpeculativeRatio times
@@ -314,29 +361,41 @@ func (c *Cluster) RunCtx(ctx context.Context, job *Job) (*JobResult, error) {
 	defer sj.Close()
 
 	// ---- Map phase ----
-	mapSpan := jobSpan.Child("map", obs.KindPhase)
-	mapPhase, err := c.runPhaseLocal(ctx, sj, len(job.Splits), maxAttempts, job.Prefer, mapSpan, "map", func(i, attempt, node int) (any, map[string]int64, error) {
+	// mapAttempt is shared by the initial map phase and any lost-output
+	// recovery waves, so a re-executed map runs exactly the original code.
+	mapAttempt := func(i, attempt, node int) (any, map[string]int64, error) {
 		if c.InjectFailure != nil {
 			if ferr := c.InjectFailure(job.Name, i, attempt, true); ferr != nil {
 				return nil, nil, ferr
 			}
 		}
-		ctx := &TaskContext{JobName: job.Name, TaskID: i, Attempt: attempt, Node: node, FS: c.FS, Config: job.Config}
+		tctx := &TaskContext{JobName: job.Name, TaskID: i, Attempt: attempt, Node: node, FS: c.FS, Config: job.Config}
 		buf := &emitBuffer{}
-		if err := job.Map(ctx, job.Splits[i], buf); err != nil {
+		if err := job.Map(tctx, job.Splits[i], buf); err != nil {
 			return nil, nil, err
 		}
 		kvs := buf.kvs
 		if job.Combine != nil {
 			kvs = combineLocal(kvs, job.Combine)
 		}
-		return kvs, ctx.counters, nil
-	})
+		return kvs, tctx.counters, nil
+	}
+	mapSpan := jobSpan.Child("map", obs.KindPhase)
+	mapPhase, err := c.runPhaseLocal(ctx, sj, len(job.Splits), maxAttempts, job.Prefer, mapSpan, "map", mapAttempt)
 	mapSpan.Finish()
 	if err != nil {
 		jobSpan.SetLabel("error", err.Error())
 		jobSpan.Finish()
 		return nil, fmt.Errorf("mapreduce: job %s map phase: %w", job.Name, err)
+	}
+	var lostOutputs, fetchRetries int
+	if job.Reduce != nil && job.NumReduce > 0 && c.Faults != nil {
+		lostOutputs, fetchRetries, err = c.recoverMapOutputs(ctx, sj, job, maxAttempts, mapAttempt, mapPhase, jobSpan)
+		if err != nil {
+			jobSpan.SetLabel("error", err.Error())
+			jobSpan.Finish()
+			return nil, fmt.Errorf("mapreduce: job %s map recovery: %w", job.Name, err)
+		}
 	}
 	mapOutputs := make([][]KV, len(job.Splits))
 	for i, r := range mapPhase.results {
@@ -351,6 +410,8 @@ func (c *Cluster) RunCtx(ctx context.Context, job *Job) (*JobResult, error) {
 		MapTasks:         len(job.Splits),
 		Counters:         mapPhase.counters,
 		SpeculativeTasks: mapPhase.speculative,
+		LostMapOutputs:   lostOutputs,
+		FetchRetries:     fetchRetries,
 	}
 
 	if job.Reduce == nil || job.NumReduce <= 0 {
@@ -469,6 +530,12 @@ func (c *Cluster) finishJobObs(jobSpan *obs.Span, res *JobResult, fsBefore dfs.S
 		jobSpan.SetAttr("reduce_tasks", int64(res.ReduceTasks))
 		jobSpan.SetAttr("task.failures", int64(res.TaskFailures))
 		jobSpan.SetAttr("task.speculative", int64(res.SpeculativeTasks))
+		if res.LostMapOutputs > 0 {
+			jobSpan.SetAttr("task.lost_map_outputs", int64(res.LostMapOutputs))
+		}
+		if res.FetchRetries > 0 {
+			jobSpan.SetAttr("task.fetch_retries", int64(res.FetchRetries))
+		}
 		jobSpan.SetAttr("shuffled_kvs", int64(res.ShuffledKVs))
 		jobSpan.SetAttr("launch_overhead_us", c.LaunchOverhead.Microseconds())
 		jobSpan.SetAttr("slot_wait_us", res.SlotWait.Microseconds())
@@ -502,10 +569,16 @@ type taskFn func(task, attempt, node int) (any, map[string]int64, error)
 // locality before any worker runs it (Hadoop's delay-scheduling timeout).
 const deferBudgetPerSlot = 8
 
-// phaseResult carries one phase's outcome.
+// phaseResult carries one phase's outcome. nodes, epochs, and perTask
+// record, for each task, which node incarnation produced the published
+// result and that attempt's counters — what lost-output recovery needs to
+// detect a dead output and retire its accounting.
 type phaseResult struct {
 	results     []any
 	counters    map[string]int64
+	perTask     []map[string]int64
+	nodes       []int
+	epochs      []int64
 	failures    int
 	speculative int
 }
@@ -521,7 +594,13 @@ type phaseResult struct {
 // workers from launching further task attempts; attempts already running
 // finish in the background without touching the phase result.
 func (c *Cluster) runPhaseLocal(ctx context.Context, sj *SchedJob, n, maxAttempts int, prefer func(task int) []int, phaseSpan *obs.Span, label string, run taskFn) (*phaseResult, error) {
-	pr := &phaseResult{results: make([]any, n), counters: map[string]int64{}}
+	pr := &phaseResult{
+		results:  make([]any, n),
+		counters: map[string]int64{},
+		perTask:  make([]map[string]int64, n),
+		nodes:    make([]int, n),
+		epochs:   make([]int64, n),
+	}
 	if n == 0 {
 		return pr, nil
 	}
@@ -581,6 +660,16 @@ func (c *Cluster) runPhaseLocal(ctx context.Context, sj *SchedJob, n, maxAttempt
 						continue
 					}
 					mu.Unlock()
+					// A dead node runs nothing: its worker surrenders the
+					// task (briefly parking, like delay scheduling) so a
+					// live node's worker picks it up — no attempt is
+					// consumed, mirroring a JobTracker that simply stops
+					// granting slots on a lost TaskTracker.
+					if c.Faults != nil && !c.Faults.NodeAlive(node) {
+						work <- t
+						time.Sleep(200 * time.Microsecond)
+						continue
+					}
 					// Every attempt executes while holding a cluster-wide
 					// slot, so concurrent jobs on one cluster never exceed
 					// Slots executing attempts in total. The worker's node
@@ -626,10 +715,33 @@ func (c *Cluster) runPhaseLocal(ctx context.Context, sj *SchedJob, n, maxAttempt
 							taskSpan.SetLabel("speculative", "true")
 						}
 					}
+					// The node's epoch is read before AttemptStart so a
+					// kill fired by this very attempt's start is seen as
+					// an epoch change and fails the attempt.
+					var fpEpoch int64
+					var fpDelay time.Duration
+					var fpErr error
+					if c.Faults != nil {
+						fpEpoch = c.Faults.NodeEpoch(node)
+						fpDelay, fpErr = c.Faults.AttemptStart(sj.name, t.id, t.attempt, node, label == "map")
+					}
 					begin := time.Now()
-					result, counters, err := runSafely(func() (any, map[string]int64, error) {
-						return run(t.id, t.attempt, node)
-					})
+					var result any
+					var counters map[string]int64
+					var err error
+					if fpErr != nil {
+						err = fpErr
+					} else {
+						if fpDelay > 0 {
+							time.Sleep(fpDelay)
+						}
+						result, counters, err = runSafely(func() (any, map[string]int64, error) {
+							return run(t.id, t.attempt, node)
+						})
+						if err == nil && c.Faults != nil && (!c.Faults.NodeAlive(node) || c.Faults.NodeEpoch(node) != fpEpoch) {
+							err = fmt.Errorf("%s task %d attempt %d on node %d: %w", label, t.id, t.attempt, node, ErrNodeLost)
+						}
+					}
 					if taskSpan != nil {
 						if err != nil {
 							taskSpan.SetLabel("error", err.Error())
@@ -668,6 +780,9 @@ func (c *Cluster) runPhaseLocal(ctx context.Context, sj *SchedJob, n, maxAttempt
 					}
 					done[t.id] = true
 					pr.results[t.id] = result
+					pr.perTask[t.id] = counters
+					pr.nodes[t.id] = node
+					pr.epochs[t.id] = fpEpoch
 					for k, v := range counters {
 						pr.counters[k] += v
 					}
@@ -744,6 +859,96 @@ func (c *Cluster) runPhaseLocal(ctx context.Context, sj *SchedJob, n, maxAttempt
 		return pr, fmt.Errorf("%w (%w)", ErrJobCanceled, cerr)
 	}
 	return pr, nil
+}
+
+// maxFetchTries bounds how many times one shuffle fetch of a map output
+// is retried before the output is declared lost; fetchBackoff is the base
+// of the linear backoff between retries (Hadoop's reduce-copy backoff,
+// scaled to simulation time).
+const (
+	maxFetchTries = 4
+	fetchBackoff  = 50 * time.Microsecond
+)
+
+// recoverMapOutputs reproduces Hadoop's lost-map-output handling. Before
+// the shuffle consumes map outputs, each output is "fetched" from the node
+// that produced it: transient fetch errors retry with bounded backoff, and
+// an output whose node died or restarted since the attempt ran (its epoch
+// changed — the output files died with the old incarnation) is declared
+// lost and its map task re-executed on a live node. Re-execution proceeds
+// in waves — a node can die *during* recovery and lose freshly recovered
+// outputs — until every output fetches cleanly. Lost outputs are charged
+// as task failures, the way Hadoop charges re-executed maps to the job,
+// and the lost attempt's counters are retired so successful-attempt
+// accounting still holds. mp is updated in place.
+func (c *Cluster) recoverMapOutputs(ctx context.Context, sj *SchedJob, job *Job, maxAttempts int, mapAttempt taskFn, mp *phaseResult, jobSpan *obs.Span) (lostTotal, retries int, err error) {
+	n := len(job.Splits)
+	// Each wave re-executes at least one lost output and plan-driven
+	// injectors are finite, so waves terminate; the cap only guards
+	// against a FaultPlane that kills nodes unboundedly.
+	maxWaves := n + 4
+	for wave := 0; ; wave++ {
+		if wave > maxWaves {
+			return lostTotal, retries, fmt.Errorf("map output recovery did not converge after %d waves", wave)
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return lostTotal, retries, cancelErr(job.Name, cerr)
+		}
+		var lost []int
+		for i := 0; i < n; i++ {
+			node := mp.nodes[i]
+			var ferr error
+			for try := 0; try < maxFetchTries; try++ {
+				ferr = c.Faults.FetchError(job.Name, i, node, try)
+				if ferr == nil {
+					break
+				}
+				retries++
+				time.Sleep(time.Duration(try+1) * fetchBackoff)
+			}
+			if ferr == nil && c.Faults.NodeAlive(node) && c.Faults.NodeEpoch(node) == mp.epochs[i] {
+				continue
+			}
+			lost = append(lost, i)
+		}
+		if len(lost) == 0 {
+			if c.Metrics != nil && retries > 0 {
+				c.Metrics.Counter("mapreduce.fetch_retries").Add(int64(retries))
+			}
+			return lostTotal, retries, nil
+		}
+		lostTotal += len(lost)
+		if c.Metrics != nil {
+			c.Metrics.Counter("mapreduce.lost_map_outputs").Add(int64(len(lost)))
+		}
+		recSpan := jobSpan.Child("map-recovery", obs.KindPhase)
+		recSpan.SetAttr("lost_outputs", int64(len(lost)))
+		var prefer func(int) []int
+		if job.Prefer != nil {
+			prefer = func(j int) []int { return job.Prefer(lost[j]) }
+		}
+		sub, rerr := c.runPhaseLocal(ctx, sj, len(lost), maxAttempts, prefer, recSpan, "map", func(j, attempt, node int) (any, map[string]int64, error) {
+			return mapAttempt(lost[j], attempt, node)
+		})
+		recSpan.Finish()
+		if rerr != nil {
+			return lostTotal, retries, rerr
+		}
+		mp.failures += len(lost) + sub.failures
+		mp.speculative += sub.speculative
+		for j, id := range lost {
+			for k, v := range mp.perTask[id] {
+				mp.counters[k] -= v
+			}
+			for k, v := range sub.perTask[j] {
+				mp.counters[k] += v
+			}
+			mp.perTask[id] = sub.perTask[j]
+			mp.results[id] = sub.results[j]
+			mp.nodes[id] = sub.nodes[j]
+			mp.epochs[id] = sub.epochs[j]
+		}
+	}
 }
 
 // combineLocal applies the combiner to one map task's output: values are

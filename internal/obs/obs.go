@@ -36,6 +36,7 @@ const (
 	KindPhase    SpanKind = "phase"
 	KindTask     SpanKind = "task"
 	KindOp       SpanKind = "op"
+	KindChaos    SpanKind = "chaos"
 )
 
 // TrackMaster is the display track for spans executed by the master

@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/workload"
+)
+
+// A server configured with a chaos plan keeps answering correctly while a
+// node dies mid-request, and surfaces the injected faults in its stats.
+func TestServerSurvivesChaosPlan(t *testing.T) {
+	cfg := testConfig()
+	cfg.Chaos = &chaos.Plan{
+		Seed: 11,
+		Events: []chaos.Event{
+			{Tick: 6, Kind: chaos.Kill, On: chaos.OnAttempt, Node: chaos.VictimCurrent},
+		},
+	}
+	s := mustServer(t, cfg)
+
+	for i := 0; i < 3; i++ {
+		a := workload.DiagonallyDominant(40+8*i, int64(20+i))
+		res, err := s.Do(context.Background(), Request{A: a})
+		if err != nil {
+			t.Fatalf("request %d under chaos: %v", i, err)
+		}
+		checkInverse(t, a, res.Inv)
+	}
+
+	st := s.Snapshot()
+	if st.Chaos == nil {
+		t.Fatal("Snapshot().Chaos nil despite a configured plan")
+	}
+	if st.Chaos.Kills != 1 {
+		t.Fatalf("Kills = %d, want 1", st.Chaos.Kills)
+	}
+	if st.Chaos.CrashedAttempts == 0 {
+		t.Fatal("kill fired but crashed no attempt")
+	}
+	if st.NodesAlive != cfg.Opts.Nodes-1 {
+		t.Fatalf("NodesAlive = %d, want %d", st.NodesAlive, cfg.Opts.Nodes-1)
+	}
+	if st.Chaos.BytesReReplicated == 0 {
+		t.Fatal("killed node's replicas were not re-replicated")
+	}
+}
+
+// Without a plan the chaos stats stay absent and every node stays up.
+func TestSnapshotWithoutChaos(t *testing.T) {
+	s := mustServer(t, testConfig())
+	a := workload.DiagonallyDominant(32, 9)
+	if _, err := s.Do(context.Background(), Request{A: a}); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Snapshot()
+	if st.Chaos != nil {
+		t.Fatalf("Chaos = %+v on a chaos-free server", st.Chaos)
+	}
+	if st.NodesAlive != s.cfg.Opts.Nodes {
+		t.Fatalf("NodesAlive = %d, want %d", st.NodesAlive, s.cfg.Opts.Nodes)
+	}
+}
+
+// Chaos-mode servers still drain cleanly with requests in flight.
+func TestChaosServerDrains(t *testing.T) {
+	cfg := testConfig()
+	cfg.Chaos = &chaos.Plan{
+		Seed: 4,
+		Events: []chaos.Event{
+			{Tick: 4, Kind: chaos.Kill, On: chaos.OnAttempt, Node: chaos.VictimCurrent},
+			{Tick: 9, Kind: chaos.Restart, On: chaos.OnAny, Node: chaos.VictimOldestDead},
+		},
+	}
+	s := mustServer(t, cfg)
+
+	type outcome struct {
+		i   int
+		res *Result
+		err error
+	}
+	done := make(chan outcome, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			a := workload.DiagonallyDominant(48, int64(40+i))
+			res, err := s.Do(context.Background(), Request{A: a})
+			done <- outcome{i: i, res: res, err: err}
+		}(i)
+	}
+	for n := 0; n < 2; n++ {
+		select {
+		case o := <-done:
+			if o.err != nil {
+				t.Fatalf("in-flight request under chaos: %v", o.err)
+			}
+			checkInverse(t, workload.DiagonallyDominant(48, int64(40+o.i)), o.res.Inv)
+		case <-time.After(30 * time.Second):
+			t.Fatal("request under chaos did not finish")
+		}
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(dctx); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Snapshot()
+	if st.Chaos.Kills != 1 || st.Chaos.Restarts != 1 {
+		t.Fatalf("chaos stats after drain: %+v, want 1 kill + 1 restart", *st.Chaos)
+	}
+}

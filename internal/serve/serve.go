@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/dfs"
 	"repro/internal/mapreduce"
@@ -65,6 +66,12 @@ type Config struct {
 	// Metrics receives serving and engine counters; one is created when
 	// nil.
 	Metrics *obs.Registry
+	// Chaos, when non-nil, runs the server's shared cluster under the
+	// given fault schedule: node kills/restarts, replica loss with
+	// re-replication, stragglers, transient fetch errors. Speculative
+	// execution is enabled so injected stragglers are recovered, and the
+	// injected-fault counters are surfaced in /statz.
+	Chaos *chaos.Plan
 }
 
 // Request is one inversion to perform. Nodes and NB, when non-zero,
@@ -143,6 +150,7 @@ type Server struct {
 	cluster *mapreduce.Cluster
 	met     *obs.Registry
 	cache   *resultCache
+	chaos   *chaos.Engine // nil unless Config.Chaos is set
 
 	queue    chan *flight
 	stop     chan struct{}
@@ -180,10 +188,21 @@ func New(cfg Config) (*Server, error) {
 	cl.MaxConcurrentJobs = cfg.MaxConcurrentJobs
 	cl.SlotQuota = cfg.SlotQuota
 	fs.SetMetrics(cfg.Metrics)
+	var eng *chaos.Engine
+	if cfg.Chaos != nil {
+		eng = chaos.New(fs, *cfg.Chaos)
+		eng.SetObs(nil, cfg.Metrics)
+		cl.Faults = eng
+		// Injected stragglers must be recoverable, as on a real cluster.
+		cl.Speculative = true
+		cl.SpeculativeRatio = 2
+		cl.SpeculativeSlack = 8 * time.Millisecond
+	}
 	s := &Server{
 		cfg:     cfg,
 		fs:      fs,
 		cluster: cl,
+		chaos:   eng,
 		met:     cfg.Metrics,
 		cache:   newResultCache(cfg.CacheBytes),
 		queue:   make(chan *flight, cfg.QueueDepth),
@@ -463,6 +482,12 @@ type Stats struct {
 	// for how long on average.
 	SlotWaitCount  int64   `json:"slot_wait_count"`
 	SlotWaitMeanMs float64 `json:"slot_wait_mean_ms"`
+	// NodesAlive is how many simulated datanodes are currently up (equals
+	// the cluster size unless chaos is injecting kills).
+	NodesAlive int `json:"nodes_alive"`
+	// Chaos reports injected-fault counters when the server runs under a
+	// chaos plan; nil otherwise.
+	Chaos *chaos.Stats `json:"chaos,omitempty"`
 }
 
 // Snapshot returns current serving stats.
@@ -475,7 +500,14 @@ func (s *Server) Snapshot() Stats {
 	if sw.Count > 0 {
 		meanMs = float64(sw.Sum.Microseconds()) / float64(sw.Count) / 1000
 	}
+	var chaosStats *chaos.Stats
+	if s.chaos != nil {
+		st := s.chaos.Stats()
+		chaosStats = &st
+	}
 	return Stats{
+		NodesAlive:     s.fs.AliveNodes(),
+		Chaos:          chaosStats,
 		QueueDepth:     len(s.queue),
 		QueueCap:       cap(s.queue),
 		CacheEntries:   s.cache.Len(),
