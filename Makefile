@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover cover-check bench bench-smoke chaos-smoke experiments examples trace serve load fmt vet lint clean
+.PHONY: all build test race cover cover-check bench bench-smoke chaos-smoke fleet-smoke experiments examples trace serve load fmt vet lint clean
 
 all: build test
 
@@ -88,8 +88,21 @@ cover-check:
 # perf trajectory).
 bench-smoke:
 	$(GO) run repro/cmd/loadgen -mode closed -concurrency 4 -requests 32 -seed 1 -mix 24:5,40:3,64:2 -dup 0.25 > BENCH_report.json
+	$(GO) run repro/cmd/loadgen -shards 4 -mode closed -concurrency 8 -requests 48 -seed 1 -mix 24:5,40:3,64:2 -dup 0.4 -tenant-mix gold:3,free:1 -tenants-quota 'gold=16:5,free=8:0' >> BENCH_report.json
 	$(GO) run repro/cmd/mrbench -exp all -seed 1 -json >> BENCH_report.json
 	$(GO) run repro/cmd/mrbench -kill-nodes 2 -n 96 -nb 24 -seed 1 -json >> BENCH_report.json
+
+# Seeded fleet smoke, as run by CI: drive a saturating skewed mix at an
+# in-process 4-shard federated fleet with two tenant classes and tight
+# per-shard queues. The gate requires zero failed requests AND the
+# overflow-spill path to have engaged (home shards saturate, the router
+# reroutes to the least-loaded live shard instead of returning 429).
+fleet-smoke:
+	$(GO) run repro/cmd/loadgen -shards 4 -serve-concurrency 1 -serve-queue 2 \
+		-concurrency 12 -requests 96 -seed 1 -mix 40:3,64:3,96:2 -dup 0.2 \
+		-hot-keys 2 -hot-frac 0.3 -tenant-mix gold:1,free:1 \
+		-tenants-quota 'gold=16:5,free=16:0' \
+		-assert-error-rate 0 -assert-min-spills 1
 
 # Seeded chaos smoke, as run by CI: replay the §7.4 failure-recovery
 # experiment under the race detector — kill 2 of 8 nodes mid-pipeline and

@@ -1,6 +1,6 @@
-// loadgen drives a matserve instance and reports serving throughput and
-// latency percentiles as JSONL — the repository's end-to-end serving
-// benchmark.
+// loadgen drives a matserve instance — or a whole federated fleet — and
+// reports serving throughput and latency percentiles as JSONL: the
+// repository's end-to-end serving benchmark.
 //
 // Two driving disciplines:
 //
@@ -10,15 +10,26 @@
 //     of completions, measuring latency under offered load (and provoking
 //     429 backpressure when the rate exceeds capacity).
 //
-// Requests are drawn from an internal/workload request mix (weighted
-// sizes plus a duplicate fraction that exercises the server's dedup and
-// cache paths) and are reproducible run-to-run under a fixed -seed.
+// Requests are drawn from an internal/workload request mix: weighted
+// sizes, a duplicate fraction, and optionally a fixed hot-key set
+// (-hot-keys/-hot-frac) that skews traffic onto a handful of matrices —
+// the shape that concentrates load on their digest-home shards. Each
+// request is billed to a tenant drawn from -tenant-mix and sent as the
+// X-Tenant header. Everything is reproducible run-to-run under a fixed
+// -seed.
 //
-// With no -url, loadgen starts its own in-process matserve on a loopback
-// port, making `make load` self-contained:
+// With no -url, loadgen starts its own in-process fleet (-shards shards
+// behind the consistent-hash router) on a loopback port, making
+// `make load` and `make fleet-smoke` self-contained:
 //
 //	loadgen -requests 64 -mode closed -concurrency 8 -seed 7
+//	loadgen -shards 4 -tenant-mix 'gold:3,free:1' -tenants-quota 'gold=16:5,free=8:0'
 //	loadgen -url http://localhost:8723 -mode open -rate 50 -requests 200
+//
+// The summary line carries fleet-wide latency percentiles plus per-tenant
+// and per-shard breakdowns, the spill/home routing split, and cache hit
+// rate; -assert-error-rate and -assert-min-spills turn a run into a CI
+// gate.
 package main
 
 import (
@@ -28,15 +39,19 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/fed"
 	"repro/internal/matrix"
 	"repro/internal/serve"
 	"repro/internal/workload"
@@ -46,17 +61,38 @@ type result struct {
 	Index   int     `json:"i"`
 	Order   int     `json:"order"`
 	Dup     bool    `json:"dup"`
+	Hot     bool    `json:"hot,omitempty"`
+	Tenant  string  `json:"tenant,omitempty"`
 	Status  int     `json:"status"`
 	Source  string  `json:"source,omitempty"`
+	Shard   int     `json:"shard"`
+	Route   string  `json:"route,omitempty"`
 	Millis  float64 `json:"ms"`
 	Err     string  `json:"err,omitempty"`
 	started time.Time
+}
+
+// groupSummary is one per-tenant or per-shard breakdown row: enough to
+// see quota/QoS and placement effects instead of only fleet aggregates.
+type groupSummary struct {
+	Requests  int            `json:"requests"`
+	OK        int            `json:"ok"`
+	ErrorRate float64        `json:"error_rate"`
+	Statuses  map[string]int `json:"statuses,omitempty"`
+	CacheHits int            `json:"cache_hits"`
+	DedupHits int            `json:"dedup_hits"`
+	Spills    int            `json:"spills"`
+	P50Ms     float64        `json:"p50_ms"`
+	P95Ms     float64        `json:"p95_ms"`
+	P99Ms     float64        `json:"p99_ms"`
 }
 
 type summary struct {
 	Kind       string         `json:"kind"` // "summary"
 	Mode       string         `json:"mode"`
 	Seed       int64          `json:"seed"`
+	Shards     int            `json:"shards,omitempty"`
+	Route      string         `json:"route,omitempty"`
 	Requests   int            `json:"requests"`
 	OK         int            `json:"ok"`
 	Statuses   map[string]int `json:"statuses"`
@@ -68,16 +104,26 @@ type summary struct {
 	P50Ms      float64        `json:"p50_ms"`
 	P95Ms      float64        `json:"p95_ms"`
 	P99Ms      float64        `json:"p99_ms"`
-	// Scheduler view from the server's /statz: how hard the shared
-	// cluster's slot pool was driven by this run.
+	// Federation view: how placement went across the fleet.
+	CacheHitRate float64                  `json:"cache_hit_rate"`
+	Spills       int                      `json:"spills"`
+	SpillRate    float64                  `json:"spill_rate"`
+	HomeHits     int                      `json:"home_hits"`
+	Tenants      map[string]*groupSummary `json:"tenants,omitempty"`
+	PerShard     map[string]*groupSummary `json:"per_shard,omitempty"`
+	// Scheduler view from the server's /statz, summed across shards: how
+	// hard the slot pools were driven by this run.
 	SlotCap        int     `json:"slot_cap,omitempty"`
 	SlotPeak       int     `json:"slot_peak,omitempty"`
 	SlotGrants     int64   `json:"slot_grants,omitempty"`
 	SlotWaitCount  int64   `json:"slot_wait_count,omitempty"`
 	SlotWaitMeanMs float64 `json:"slot_wait_mean_ms,omitempty"`
-	// Chaos view from /statz when the in-process server ran with -chaos-kill:
-	// how many faults were injected while this load ran, and how many of
-	// the issued requests still failed.
+	// Fleet /statz rollups.
+	FedSpills         int64 `json:"fed_spills,omitempty"`
+	FedTenantRejected int64 `json:"fed_tenant_rejected,omitempty"`
+	// Chaos view from /statz when the in-process fleet ran with
+	// -chaos-kill: how many faults were injected while this load ran, and
+	// how many of the issued requests still failed.
 	ErrorRate            float64 `json:"error_rate"`
 	ChaosKills           int     `json:"chaos_kills,omitempty"`
 	ChaosRestarts        int     `json:"chaos_restarts,omitempty"`
@@ -87,8 +133,43 @@ type summary struct {
 	NodesAlive           int     `json:"nodes_alive,omitempty"`
 }
 
+// tenantPick is one weighted entry of the -tenant-mix distribution.
+type tenantPick struct {
+	name   string
+	weight float64
+}
+
+// parseTenantMix parses "name:weight,name:weight,..." (e.g.
+// "gold:3,free:1"). Empty means every request is anonymous.
+func parseTenantMix(s string) ([]tenantPick, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []tenantPick
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		nw := strings.SplitN(part, ":", 2)
+		if len(nw) != 2 || strings.TrimSpace(nw[0]) == "" {
+			return nil, fmt.Errorf("tenant-mix entry %q: want name:weight", part)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(nw[1]), 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("tenant-mix entry %q: bad weight", part)
+		}
+		out = append(out, tenantPick{name: strings.TrimSpace(nw[0]), weight: w})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty tenant mix %q", s)
+	}
+	return out, nil
+}
+
 func main() {
-	url := flag.String("url", "", "matserve base URL; empty starts an in-process server")
+	url := flag.String("url", "", "matserve base URL; empty starts an in-process fleet")
 	mode := flag.String("mode", "closed", "closed (fixed concurrency) | open (fixed arrival rate)")
 	concurrency := flag.Int("concurrency", 8, "closed-loop worker count")
 	rate := flag.Float64("rate", 16, "open-loop arrival rate, requests/second")
@@ -96,31 +177,45 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed: same seed, same request sequence")
 	mixSpec := flag.String("mix", "24:5,40:3,64:2", "request size mix as order:weight,...")
 	dup := flag.Float64("dup", 0.25, "duplicate-request probability (exercises dedup + cache)")
+	hotKeys := flag.Int("hot-keys", 0, "fixed hot-key set size (0 = no hot keys)")
+	hotFrac := flag.Float64("hot-frac", 0.5, "probability a request is one of the hot keys")
+	tenantMix := flag.String("tenant-mix", "", "tenant billing mix as name:weight,... (sent as X-Tenant)")
 	timeout := flag.Duration("timeout", 0, "per-request server-side deadline (0 = none)")
 	nodes := flag.Int("nodes", 0, "nodes override sent with each request (0 = server default)")
 	nb := flag.Int("nb", 0, "nb override sent with each request (0 = server default)")
 	priority := flag.Int("priority", 0, "fair-share priority sent with each request (higher wins contended slots)")
 	perRequest := flag.Bool("per-request", false, "emit one JSONL line per request before the summary")
-	serveConc := flag.Int("serve-concurrency", 4, "in-process server: concurrent pipelines")
-	serveQueue := flag.Int("serve-queue", 64, "in-process server: admission queue depth")
-	chaosKill := flag.Int("chaos-kill", 0, "in-process server: kill this many datanodes under load (chaos mode)")
-	chaosSeed := flag.Int64("chaos-seed", 1, "in-process server: fault-schedule seed for -chaos-kill")
+	shards := flag.Int("shards", 1, "in-process fleet: number of cluster shards")
+	vnodes := flag.Int("vnodes", fed.DefaultVNodes, "in-process fleet: ring virtual nodes per shard")
+	route := flag.String("route", fed.RouteDigest, "in-process fleet: digest (cache-local) | random (baseline)")
+	tenantsQuota := flag.String("tenants-quota", "", "in-process fleet: tenant admission table name=quota[:priority],...")
+	serveConc := flag.Int("serve-concurrency", 4, "in-process fleet: concurrent pipelines per shard")
+	serveQueue := flag.Int("serve-queue", 64, "in-process fleet: admission queue depth per shard")
+	chaosKill := flag.Int("chaos-kill", 0, "in-process fleet: kill this many datanodes on shard 0 under load (chaos mode)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "in-process fleet: fault-schedule seed for -chaos-kill")
+	assertErrRate := flag.Float64("assert-error-rate", -1, "exit nonzero unless error_rate <= this (negative disables)")
+	assertMinSpills := flag.Int("assert-min-spills", -1, "exit nonzero unless at least this many requests spilled (negative disables)")
 	flag.Parse()
 
 	if *chaosKill > 0 && *url != "" {
-		log.Fatal("-chaos-kill injects faults into the in-process server; it cannot target an external -url")
+		log.Fatal("-chaos-kill injects faults into the in-process fleet; it cannot target an external -url")
 	}
 
 	entries, err := workload.ParseMix(*mixSpec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	mix := workload.Mix{Entries: entries, DupProb: *dup}
+	mix := workload.Mix{Entries: entries, DupProb: *dup, HotKeys: *hotKeys, HotProb: *hotFrac}
+	tenants, err := parseTenantMix(*tenantMix)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	base := *url
 	if base == "" {
 		var stop func()
-		base, stop = selfServe(*serveConc, *serveQueue, *chaosKill, *chaosSeed)
+		base, stop = selfFleet(*shards, *vnodes, *route, *tenantsQuota,
+			*serveConc, *serveQueue, *chaosKill, *chaosSeed)
 		defer stop()
 	}
 	target := base + "/invert?"
@@ -138,9 +233,31 @@ func main() {
 	}
 
 	// Materialize the request sequence up front: deterministic under
-	// -seed, and duplicate specs reuse the serialized body bytes.
+	// -seed, and duplicate specs reuse the serialized body bytes. Tenant
+	// assignment draws from its own rng so adding a tenant mix does not
+	// shift the matrix sequence.
 	stream := mix.Stream(*seed)
 	specs := stream.Take(*requests)
+	billing := make([]string, *requests)
+	if len(tenants) > 0 {
+		var total float64
+		for _, tp := range tenants {
+			total += tp.weight
+		}
+		trng := rand.New(rand.NewSource(*seed ^ 0x7e7a))
+		for i := range billing {
+			u := trng.Float64() * total
+			for _, tp := range tenants {
+				if u -= tp.weight; u <= 0 {
+					billing[i] = tp.name
+					break
+				}
+			}
+			if billing[i] == "" {
+				billing[i] = tenants[len(tenants)-1].name
+			}
+		}
+	}
 	bodies := make(map[[2]int64][]byte)
 	for _, sp := range specs {
 		k := [2]int64{int64(sp.Order), sp.Seed}
@@ -158,8 +275,19 @@ func main() {
 	results := make([]result, *requests)
 	fire := func(i int) {
 		sp := specs[i]
-		res := result{Index: i, Order: sp.Order, Dup: sp.Dup, started: time.Now()}
-		resp, err := client.Post(target, "application/octet-stream", bytes.NewReader(body(sp)))
+		res := result{Index: i, Order: sp.Order, Dup: sp.Dup, Hot: sp.Hot,
+			Tenant: billing[i], Shard: -1, started: time.Now()}
+		hreq, err := http.NewRequest(http.MethodPost, target, bytes.NewReader(body(sp)))
+		if err != nil {
+			res.Err = err.Error()
+			results[i] = res
+			return
+		}
+		hreq.Header.Set("Content-Type", "application/octet-stream")
+		if res.Tenant != "" {
+			hreq.Header.Set("X-Tenant", res.Tenant)
+		}
+		resp, err := client.Do(hreq)
 		res.Millis = float64(time.Since(res.started).Microseconds()) / 1000
 		if err != nil {
 			res.Err = err.Error()
@@ -168,6 +296,12 @@ func main() {
 			resp.Body.Close()
 			res.Status = resp.StatusCode
 			res.Source = resp.Header.Get("X-Source")
+			res.Route = resp.Header.Get("X-Fed-Route")
+			if v := resp.Header.Get("X-Shard"); v != "" {
+				if sh, serr := strconv.Atoi(v); serr == nil {
+					res.Shard = sh
+				}
+			}
 		}
 		results[i] = res
 	}
@@ -221,68 +355,156 @@ func main() {
 		}
 	}
 	sum := summarize(*mode, *seed, results, wall)
-	addSchedulerStats(&sum, client, base)
+	addFleetStats(&sum, client, base)
 	enc.Encode(sum)
+
+	if *assertErrRate >= 0 && sum.ErrorRate > *assertErrRate {
+		log.Fatalf("assert: error_rate %.4f > %.4f", sum.ErrorRate, *assertErrRate)
+	}
+	if *assertMinSpills >= 0 && sum.Spills < *assertMinSpills {
+		log.Fatalf("assert: %d spills < required %d (overflow spill never engaged)", sum.Spills, *assertMinSpills)
+	}
 }
 
-// addSchedulerStats folds the server's /statz scheduler view into the
-// summary, so every load run reports slot utilization and wait alongside
-// its latency percentiles. Best-effort: a server without /statz just
-// leaves the fields zero.
-func addSchedulerStats(s *summary, client *http.Client, base string) {
+// addFleetStats folds the server's /statz fleet view into the summary:
+// scheduler load summed over shards, routing counters, chaos injections.
+// Best-effort: a server without /statz just leaves the fields zero.
+func addFleetStats(s *summary, client *http.Client, base string) {
 	resp, err := client.Get(base + "/statz")
 	if err != nil {
 		return
 	}
 	defer resp.Body.Close()
-	var st serve.Stats
+	var st fed.Stats
 	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&st) != nil {
 		return
 	}
-	s.SlotCap = st.Scheduler.Capacity
-	s.SlotPeak = st.Scheduler.Peak
-	s.SlotGrants = st.Scheduler.Grants
-	s.SlotWaitCount = st.SlotWaitCount
-	s.SlotWaitMeanMs = st.SlotWaitMeanMs
-	s.NodesAlive = st.NodesAlive
-	if st.Chaos != nil {
-		s.ChaosKills = st.Chaos.Kills
-		s.ChaosRestarts = st.Chaos.Restarts
-		s.ChaosBytesReplicated = st.Chaos.BytesReReplicated
-		s.ChaosCrashedAttempts = st.Chaos.CrashedAttempts
-		s.ChaosFetchErrs = st.Chaos.FetchErrorsInjected
+	s.Shards = len(st.Shards)
+	s.Route = st.Route
+	s.FedSpills = st.Spills
+	s.FedTenantRejected = st.TenantRejected
+	for _, sh := range st.Shards {
+		sv := sh.Serve
+		s.SlotCap += sv.Scheduler.Capacity
+		s.SlotPeak += sv.Scheduler.Peak
+		s.SlotGrants += sv.Scheduler.Grants
+		s.SlotWaitCount += sv.SlotWaitCount
+		s.SlotWaitMeanMs += sv.SlotWaitMeanMs * float64(sv.SlotWaitCount)
+		s.NodesAlive += sv.NodesAlive
+		if sv.Chaos != nil {
+			s.ChaosKills += sv.Chaos.Kills
+			s.ChaosRestarts += sv.Chaos.Restarts
+			s.ChaosBytesReplicated += sv.Chaos.BytesReReplicated
+			s.ChaosCrashedAttempts += sv.Chaos.CrashedAttempts
+			s.ChaosFetchErrs += sv.Chaos.FetchErrorsInjected
+		}
+	}
+	if s.SlotWaitCount > 0 {
+		s.SlotWaitMeanMs /= float64(s.SlotWaitCount)
 	}
 }
 
-// summarize folds per-request results into the JSONL summary line.
+// summarize folds per-request results into the JSONL summary line,
+// including the per-tenant and per-shard breakdown rows.
 func summarize(mode string, seed int64, results []result, wall time.Duration) summary {
 	s := summary{Kind: "summary", Mode: mode, Seed: seed, Requests: len(results),
 		Statuses: map[string]int{}, WallSec: wall.Seconds()}
 	var lat []float64
 	var sum float64
+	tenantLat := map[string][]float64{}
+	shardLat := map[string][]float64{}
+	group := func(m map[string]*groupSummary, key string) *groupSummary {
+		g, ok := m[key]
+		if !ok {
+			g = &groupSummary{Statuses: map[string]int{}}
+			m[key] = g
+		}
+		return g
+	}
 	for _, r := range results {
-		if r.Err != "" {
-			s.Statuses["error"]++
+		var groups []*groupSummary
+		if r.Tenant != "" {
+			if s.Tenants == nil {
+				s.Tenants = map[string]*groupSummary{}
+			}
+			g := group(s.Tenants, r.Tenant)
+			groups = append(groups, g)
+		}
+		if r.Shard >= 0 {
+			if s.PerShard == nil {
+				s.PerShard = map[string]*groupSummary{}
+			}
+			groups = append(groups, group(s.PerShard, strconv.Itoa(r.Shard)))
+		}
+		status := "error"
+		if r.Err == "" {
+			status = strconv.Itoa(r.Status)
+		}
+		s.Statuses[status]++
+		for _, g := range groups {
+			g.Requests++
+			g.Statuses[status]++
+		}
+		if r.Err != "" || r.Status != http.StatusOK {
 			continue
 		}
-		s.Statuses[fmt.Sprintf("%d", r.Status)]++
-		if r.Status == http.StatusOK {
-			s.OK++
-			lat = append(lat, r.Millis)
-			sum += r.Millis
+		s.OK++
+		lat = append(lat, r.Millis)
+		sum += r.Millis
+		switch r.Source {
+		case "cache":
+			s.CacheHits++
+		case "dedup":
+			s.DedupHits++
+		}
+		if r.Route == "spill" {
+			s.Spills++
+		} else if r.Route == "home" {
+			s.HomeHits++
+		}
+		for _, g := range groups {
+			g.OK++
 			switch r.Source {
 			case "cache":
-				s.CacheHits++
+				g.CacheHits++
 			case "dedup":
-				s.DedupHits++
+				g.DedupHits++
+			}
+			if r.Route == "spill" {
+				g.Spills++
+			}
+		}
+		if r.Tenant != "" {
+			tenantLat[r.Tenant] = append(tenantLat[r.Tenant], r.Millis)
+		}
+		if r.Shard >= 0 {
+			shardLat[strconv.Itoa(r.Shard)] = append(shardLat[strconv.Itoa(r.Shard)], r.Millis)
+		}
+	}
+	finishGroups := func(m map[string]*groupSummary, lats map[string][]float64) {
+		for key, g := range m {
+			if g.Requests > 0 {
+				g.ErrorRate = float64(g.Requests-g.OK) / float64(g.Requests)
+			}
+			if l := lats[key]; len(l) > 0 {
+				sort.Float64s(l)
+				g.P50Ms = percentile(l, 0.50)
+				g.P95Ms = percentile(l, 0.95)
+				g.P99Ms = percentile(l, 0.99)
 			}
 		}
 	}
+	finishGroups(s.Tenants, tenantLat)
+	finishGroups(s.PerShard, shardLat)
 	if wall > 0 {
 		s.Throughput = float64(s.OK) / wall.Seconds()
 	}
 	if len(results) > 0 {
 		s.ErrorRate = float64(len(results)-s.OK) / float64(len(results))
+	}
+	if s.OK > 0 {
+		s.CacheHitRate = float64(s.CacheHits) / float64(s.OK)
+		s.SpillRate = float64(s.Spills) / float64(s.OK)
 	}
 	if len(lat) > 0 {
 		sort.Float64s(lat)
@@ -306,15 +528,20 @@ func percentile(sorted []float64, p float64) float64 {
 	return sorted[idx]
 }
 
-// selfServe starts an in-process matserve on a loopback port and returns
-// its base URL plus a shutdown function. chaosKill > 0 runs the server's
-// cluster under a seeded fault schedule: that many datanodes crash while
-// the load runs (and are later revived, so capacity recovers), proving the
-// serving path absorbs node loss without failing requests.
-func selfServe(concurrency, queue, chaosKill int, chaosSeed int64) (string, func()) {
+// selfFleet starts an in-process federated fleet on a loopback port and
+// returns its base URL plus a shutdown function. chaosKill > 0 runs shard
+// 0's cluster under a seeded fault schedule: that many datanodes crash
+// while the load runs (and are later revived, so capacity recovers),
+// proving the fleet absorbs node loss — by in-shard recovery or spill —
+// without failing requests.
+func selfFleet(shards, vnodes int, route, tenantsQuota string, concurrency, queue, chaosKill int, chaosSeed int64) (string, func()) {
+	specs, err := fed.ParseTenants(tenantsQuota)
+	if err != nil {
+		log.Fatal(err)
+	}
 	opts := core.DefaultOptions(8)
 	opts.NB = 64
-	cfg := serve.Config{
+	shardCfg := serve.Config{
 		Concurrency: concurrency,
 		QueueDepth:  queue,
 		CacheBytes:  64 << 20,
@@ -327,9 +554,15 @@ func selfServe(concurrency, queue, chaosKill int, chaosSeed int64) (string, func
 			Horizon: 64,
 			Restart: true,
 		})
-		cfg.Chaos = &plan
+		shardCfg.Chaos = &plan
 	}
-	srv, err := serve.New(cfg)
+	fleet, err := fed.New(fed.Config{
+		Shards:  shards,
+		VNodes:  vnodes,
+		Route:   route,
+		Tenants: specs,
+		Shard:   shardCfg,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -337,10 +570,10 @@ func selfServe(concurrency, queue, chaosKill int, chaosSeed int64) (string, func
 	if err != nil {
 		log.Fatal(err)
 	}
-	hs := &http.Server{Handler: serve.NewHandler(srv)}
+	hs := &http.Server{Handler: fed.NewHandler(fleet)}
 	go hs.Serve(ln)
 	stop := func() {
-		srv.Close()
+		fleet.Close()
 		hs.Close()
 	}
 	return "http://" + ln.Addr().String(), stop

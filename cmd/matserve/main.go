@@ -1,20 +1,32 @@
-// matserve exposes the MapReduce inversion pipeline as an HTTP service:
-// many concurrent clients multiplexed onto one simulated cluster, with
-// bounded admission (429 on overflow), singleflight deduplication of
-// identical in-flight matrices, an LRU cache of computed inverses,
-// per-request deadlines, and graceful drain on SIGINT/SIGTERM.
+// matserve exposes the MapReduce inversion pipeline as an HTTP service.
+// With -shards 1 (the default) it is a single serving instance: many
+// concurrent clients multiplexed onto one simulated cluster, with bounded
+// admission (429 on overflow), singleflight deduplication of identical
+// in-flight matrices, an LRU cache of computed inverses, per-request
+// deadlines, and graceful drain on SIGINT/SIGTERM.
+//
+// With -shards N it becomes a federated fleet: N independent cluster
+// shards (each with its own slot scheduler, singleflight, and cache)
+// behind a consistent-hash ring keyed by the request digest, so identical
+// matrices always land on the same shard and stay cache-local. Tenants
+// (X-Tenant header) get per-tenant admission quotas and QoS priorities
+// via -tenants-quota, and requests whose home shard saturates spill to
+// the least-loaded live shard instead of bouncing with 429.
 //
 //	matserve -addr :8723 -nodes 8 -nb 64 -concurrency 4 -queue 32 -cache-mb 64
+//	matserve -shards 4 -tenants-quota 'gold=32:5,free=8:0,*=4:0'
 //
-// Concurrent pipelines share one cluster-wide slot scheduler (total
-// executing task attempts never exceed -nodes); -max-jobs and
-// -slot-quota bound a single request's share of it.
+// Concurrent pipelines within a shard share one cluster-wide slot
+// scheduler (total executing task attempts never exceed -nodes);
+// -max-jobs and -slot-quota bound a single request's share of it.
 //
 //	POST /invert    binary matrix body -> binary inverse
 //	                query: timeout=250ms  nodes=8  nb=64  priority=5
+//	                header: X-Tenant: gold
 //	GET  /healthz /statz /metricz
 //
-// Clients: cmd/loadgen drives it; or curl:
+// Clients: cmd/loadgen drives it (fleet mode: -shards, -tenant-mix); or
+// curl:
 //
 //	matgen -n 64 -o a.bin && curl --data-binary @a.bin localhost:8723/invert -o inv.bin
 package main
@@ -31,49 +43,64 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fed"
 	"repro/internal/serve"
 )
 
 func main() {
 	addr := flag.String("addr", ":8723", "listen address")
-	nodes := flag.Int("nodes", 8, "simulated cluster nodes (m0)")
+	shards := flag.Int("shards", 1, "independent cluster shards behind the consistent-hash router")
+	vnodes := flag.Int("vnodes", fed.DefaultVNodes, "ring virtual nodes per shard")
+	route := flag.String("route", fed.RouteDigest, "placement policy: digest (cache-local) | random (baseline)")
+	tenantsQuota := flag.String("tenants-quota", "", "tenant admission table: name=quota[:priority],... ('*' is the default class; empty admits everyone unlimited)")
+	nodes := flag.Int("nodes", 8, "simulated cluster nodes (m0) per shard")
 	nb := flag.Int("nb", 64, "bound value for the pipeline")
-	concurrency := flag.Int("concurrency", 2, "pipelines executed at once")
-	queue := flag.Int("queue", 16, "admission queue depth (excess requests get 429)")
-	cacheMB := flag.Int64("cache-mb", 64, "inverse result cache budget in MiB (0 disables)")
+	concurrency := flag.Int("concurrency", 2, "pipelines executed at once per shard")
+	queue := flag.Int("queue", 16, "admission queue depth per shard (excess requests get 429)")
+	cacheMB := flag.Int64("cache-mb", 64, "inverse result cache budget in MiB per shard (0 disables)")
 	maxJobs := flag.Int("max-jobs", 0, "cap on MapReduce jobs holding cluster slots at once (0 = unlimited)")
 	slotQuota := flag.Int("slot-quota", 0, "cap on slots one job may hold while others wait (0 = unlimited)")
 	timeout := flag.Duration("timeout", 0, "default per-request deadline when the client sets none (0 = unlimited)")
 	drainGrace := flag.Duration("drain", 10*time.Second, "graceful drain budget on shutdown")
-	showMetrics := flag.Bool("metrics", false, "print the metrics registry after drain")
+	showMetrics := flag.Bool("metrics", false, "print the fleet metrics registry after drain")
 	flag.Parse()
 
+	tenants, err := fed.ParseTenants(*tenantsQuota)
+	if err != nil {
+		log.Fatal(err)
+	}
 	opts := core.DefaultOptions(*nodes)
 	opts.NB = *nb
-	srv, err := serve.New(serve.Config{
-		Concurrency:       *concurrency,
-		QueueDepth:        *queue,
-		CacheBytes:        *cacheMB << 20,
-		DefaultTimeout:    *timeout,
-		MaxConcurrentJobs: *maxJobs,
-		SlotQuota:         *slotQuota,
-		Opts:              opts,
+	fleet, err := fed.New(fed.Config{
+		Shards:  *shards,
+		VNodes:  *vnodes,
+		Route:   *route,
+		Tenants: tenants,
+		Shard: serve.Config{
+			Concurrency:       *concurrency,
+			QueueDepth:        *queue,
+			CacheBytes:        *cacheMB << 20,
+			DefaultTimeout:    *timeout,
+			MaxConcurrentJobs: *maxJobs,
+			SlotQuota:         *slotQuota,
+			Opts:              opts,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: serve.NewHandler(srv)}
+	hs := &http.Server{Addr: *addr, Handler: fed.NewHandler(fleet)}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 		<-sig
-		log.Printf("draining (grace %v)...", *drainGrace)
+		log.Printf("draining %d shard(s) (grace %v)...", fleet.NumShards(), *drainGrace)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
 		defer cancel()
-		if derr := srv.Drain(ctx); derr != nil {
+		if derr := fleet.Drain(ctx); derr != nil {
 			log.Printf("drain: %v", derr)
 		}
 		// A full-grace Drain exhausts ctx; give the HTTP listener its own
@@ -84,13 +111,16 @@ func main() {
 		hs.Shutdown(sctx)
 	}()
 
-	log.Printf("matserve listening on %s (nodes=%d nb=%d concurrency=%d queue=%d cache=%dMiB)",
-		*addr, *nodes, *nb, *concurrency, *queue, *cacheMB)
+	log.Printf("matserve listening on %s (shards=%d route=%s nodes=%d nb=%d concurrency=%d queue=%d cache=%dMiB)",
+		*addr, *shards, *route, *nodes, *nb, *concurrency, *queue, *cacheMB)
 	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}
 	<-done
 	if *showMetrics {
-		fmt.Print(srv.Metrics().String())
+		fmt.Print(fleet.Metrics().String())
+		for i := 0; i < fleet.NumShards(); i++ {
+			fmt.Printf("\n# shard %d\n%s", i, fleet.Shard(i).Metrics().String())
+		}
 	}
 }

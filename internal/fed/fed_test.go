@@ -1,0 +1,313 @@
+package fed
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+func shardConfig() serve.Config {
+	opts := core.DefaultOptions(4)
+	opts.NB = 16
+	return serve.Config{Concurrency: 2, QueueDepth: 16, CacheBytes: 16 << 20, Opts: opts}
+}
+
+func mustFleet(t *testing.T, cfg Config) *Fleet {
+	t.Helper()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func checkInverse(t *testing.T, a, inv *matrix.Dense) {
+	t.Helper()
+	res, err := matrix.IdentityResidual(a, inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res > 1e-8 {
+		t.Fatalf("residual %g", res)
+	}
+}
+
+func TestParseTenants(t *testing.T) {
+	specs, err := ParseTenants("gold=16:5, free=4 , *=2:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]TenantSpec{
+		"gold": {Quota: 16, Priority: 5},
+		"free": {Quota: 4},
+		"*":    {Quota: 2, Priority: 1},
+	}
+	if len(specs) != len(want) {
+		t.Fatalf("parsed %v", specs)
+	}
+	for name, w := range want {
+		if specs[name] != w {
+			t.Fatalf("tenant %s = %+v, want %+v", name, specs[name], w)
+		}
+	}
+	if nilSpecs, err := ParseTenants("  "); err != nil || nilSpecs != nil {
+		t.Fatalf("empty spec: %v %v", nilSpecs, err)
+	}
+	for _, bad := range []string{"=4", "gold", "gold=x", "gold=4:y", "gold=1,gold=2", ","} {
+		if _, err := ParseTenants(bad); err == nil {
+			t.Fatalf("spec %q parsed without error", bad)
+		}
+	}
+}
+
+func TestTenantAcquirePriorityAndQuota(t *testing.T) {
+	tt := newTenants(map[string]TenantSpec{
+		"gold": {Quota: 2, Priority: 5},
+		"*":    {Quota: 1},
+	})
+	// QoS class overrides the request's own priority claim.
+	prio, rel1, err := tt.acquire("gold", 9)
+	if err != nil || prio != 5 {
+		t.Fatalf("gold acquire: prio=%d err=%v, want 5 nil", prio, err)
+	}
+	// A zero-priority class keeps the request's claim (back-compat with
+	// the client -priority flag).
+	prio, rel2, err := tt.acquire("someone", 3)
+	if err != nil || prio != 3 {
+		t.Fatalf("default-class acquire: prio=%d err=%v, want 3 nil", prio, err)
+	}
+	// someone is at its "*" quota of 1.
+	if _, _, err := tt.acquire("someone", 0); !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("over-quota acquire: %v, want ErrTenantQuota", err)
+	}
+	rel2(true)
+	if _, rel3, err := tt.acquire("someone", 0); err != nil {
+		t.Fatalf("post-release acquire: %v", err)
+	} else {
+		rel3(false)
+	}
+	rel1(true)
+
+	st := tt.stats()
+	if len(st) != 2 {
+		t.Fatalf("stats rows: %+v", st)
+	}
+	for _, row := range st {
+		if row.Name == "someone" {
+			if row.Requests != 3 || row.Rejected != 1 || row.Completed != 1 || row.Failed != 1 {
+				t.Fatalf("someone stats %+v", row)
+			}
+		}
+	}
+}
+
+func TestUnknownTenantRejectedWithoutDefaultClass(t *testing.T) {
+	tt := newTenants(map[string]TenantSpec{"gold": {Quota: 1}})
+	if _, _, err := tt.acquire("stranger", 0); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("got %v, want ErrUnknownTenant", err)
+	}
+}
+
+// Digest routing: the same matrix always lands on the same shard, so the
+// second request is a shard-local cache hit; distinct matrices spread
+// across shards.
+func TestDigestRoutingKeepsCacheShardLocal(t *testing.T) {
+	f := mustFleet(t, Config{Shards: 4, Shard: shardConfig()})
+	ctx := context.Background()
+
+	a := workload.DiagonallyDominant(32, 7)
+	first, err := f.Do(ctx, Request{Request: serve.Request{A: a}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Route != "home" || first.Shard != first.Home {
+		t.Fatalf("first request route=%s shard=%d home=%d", first.Route, first.Shard, first.Home)
+	}
+	checkInverse(t, a, first.Inv)
+
+	second, err := f.Do(ctx, Request{Request: serve.Request{A: a}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Shard != first.Shard {
+		t.Fatalf("duplicate routed to shard %d, first went to %d", second.Shard, first.Shard)
+	}
+	if second.Source != "cache" {
+		t.Fatalf("duplicate source %q, want shard-local cache hit", second.Source)
+	}
+
+	// Distinct matrices should use more than one shard.
+	used := map[int]bool{first.Shard: true}
+	for i := 0; i < 8; i++ {
+		res, err := f.Do(ctx, Request{Request: serve.Request{A: workload.DiagonallyDominant(24, int64(100+i))}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		used[res.Shard] = true
+	}
+	if len(used) < 2 {
+		t.Fatalf("9 distinct matrices all routed to one shard: %v", used)
+	}
+}
+
+func TestRandomRoutePolicy(t *testing.T) {
+	f := mustFleet(t, Config{Shards: 4, Route: RouteRandom, Seed: 3, Shard: shardConfig()})
+	ctx := context.Background()
+	used := map[int]bool{}
+	for i := 0; i < 8; i++ {
+		res, err := f.Do(ctx, Request{Request: serve.Request{A: workload.DiagonallyDominant(24, int64(i))}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Route != "random" {
+			t.Fatalf("route %q under RouteRandom", res.Route)
+		}
+		used[res.Shard] = true
+	}
+	if len(used) < 2 {
+		t.Fatal("random routing used a single shard for 8 requests")
+	}
+}
+
+// Saturate a request's home shard and check the router spills it to
+// another live shard instead of surfacing 429.
+func TestOverflowSpillFromSaturatedHomeShard(t *testing.T) {
+	sc := shardConfig()
+	sc.Concurrency = 1
+	sc.QueueDepth = 1
+	f := mustFleet(t, Config{Shards: 3, Shard: sc})
+	ctx := context.Background()
+
+	target := Request{Request: serve.Request{A: workload.DiagonallyDominant(32, 1)}}
+	_, home := f.Home(target)
+
+	// Occupy home's single worker and single queue slot with big
+	// inversions homed there (submitted directly to the shard, bypassing
+	// the router so they cannot spill away).
+	blockers := 0
+	done := make(chan error, 4)
+	for seed := int64(1000); blockers < 2 && seed < 1600; seed++ {
+		req := Request{Request: serve.Request{A: workload.DiagonallyDominant(96, seed)}}
+		if _, h := f.Home(req); h != home {
+			continue
+		}
+		blockers++
+		go func(r serve.Request) {
+			_, err := f.Shard(home).Do(ctx, r)
+			done <- err
+		}(req.Request)
+	}
+	if blockers != 2 {
+		t.Fatalf("found only %d blocker matrices homed to shard %d", blockers, home)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		depth, capacity := f.Shard(home).QueueLoad()
+		if depth >= capacity {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("home shard %d never saturated (depth %d / cap %d)", home, depth, capacity)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	res, err := f.Do(ctx, target)
+	if err != nil {
+		t.Fatalf("request failed instead of spilling: %v", err)
+	}
+	if res.Route != "spill" {
+		t.Fatalf("route %q, want spill (home %d, served by %d)", res.Route, res.Home, res.Shard)
+	}
+	if res.Shard == home {
+		t.Fatal("spill stayed on the saturated home shard")
+	}
+	checkInverse(t, target.A, res.Inv)
+
+	st := f.Snapshot()
+	if st.Spills != 1 {
+		t.Fatalf("Snapshot().Spills = %d, want 1", st.Spills)
+	}
+	for _, row := range st.Tenants {
+		if row.Name == DefaultTenant && row.Spills != 1 {
+			t.Fatalf("tenant spill counter %+v", row)
+		}
+	}
+	for i := 0; i < blockers; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("blocker failed: %v", err)
+		}
+	}
+}
+
+func TestFleetQuotaEnforcedAcrossShards(t *testing.T) {
+	f := mustFleet(t, Config{
+		Shards:  2,
+		Tenants: map[string]TenantSpec{"free": {Quota: 1}, "*": {Quota: 0}},
+		Shard:   shardConfig(),
+	})
+	ctx := context.Background()
+
+	slow := make(chan error, 1)
+	go func() {
+		_, err := f.Do(ctx, Request{
+			Request: serve.Request{A: workload.DiagonallyDominant(96, 42)},
+			Tenant:  "free",
+		})
+		slow <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var inflight int
+		for _, row := range f.Snapshot().Tenants {
+			if row.Name == "free" {
+				inflight = row.Inflight
+			}
+		}
+		if inflight == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("free tenant never went in flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	_, err := f.Do(ctx, Request{
+		Request: serve.Request{A: workload.DiagonallyDominant(24, 43)},
+		Tenant:  "free",
+	})
+	if !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("second in-flight free request: %v, want ErrTenantQuota", err)
+	}
+	// Other tenants are unaffected by free's quota.
+	if _, err := f.Do(ctx, Request{
+		Request: serve.Request{A: workload.DiagonallyDominant(24, 44)},
+		Tenant:  "other",
+	}); err != nil {
+		t.Fatalf("other tenant blocked by free's quota: %v", err)
+	}
+	if err := <-slow; err != nil {
+		t.Fatalf("slow free request: %v", err)
+	}
+}
+
+func TestFleetDrainRejectsNewWork(t *testing.T) {
+	f := mustFleet(t, Config{Shards: 2, Shard: shardConfig()})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := f.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_, err := f.Do(context.Background(), Request{Request: serve.Request{A: workload.DiagonallyDominant(24, 1)}})
+	if !errors.Is(err, serve.ErrDraining) && !errors.Is(err, ErrNoShard) {
+		t.Fatalf("post-drain request: %v", err)
+	}
+}

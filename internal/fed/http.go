@@ -1,0 +1,98 @@
+package fed
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/serve"
+)
+
+// NewHandler exposes the fleet over HTTP with the same surface as a
+// single serve.Server, plus tenancy and shard visibility:
+//
+//	POST /invert    body and query params as in serve.NewHandler; the
+//	                tenant is taken from the X-Tenant header (or the
+//	                tenant query param). Responds with the inverse plus
+//	                X-Shard / X-Fed-Home / X-Fed-Route headers on top of
+//	                the per-shard X-Source/X-Jobs/X-Slot-Wait.
+//	GET  /healthz   liveness: 503 only when no shard is healthy
+//	GET  /statz     JSON fleet stats (per-shard serving snapshots, ring
+//	                ownership, tenant table)
+//	GET  /metricz   fleet fed.* counters followed by each shard's registry
+//
+// Extra error mappings over the serve set: tenant quota exhausted 429,
+// unknown tenant 403, no live shard 503.
+func NewHandler(f *Fleet) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/invert", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		f.handleInvert(w, r)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		for i := range f.shards {
+			if f.shards[i].Healthy() {
+				fmt.Fprintln(w, "ok")
+				return
+			}
+		}
+		http.Error(w, "no live shard", http.StatusServiceUnavailable)
+	})
+	mux.HandleFunc("/statz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(f.Snapshot())
+	})
+	mux.HandleFunc("/metricz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		f.met.Render(w)
+		for i, s := range f.shards {
+			fmt.Fprintf(w, "\n# shard %d\n", i)
+			s.Metrics().Render(w)
+		}
+	})
+	return mux
+}
+
+func (f *Fleet) handleInvert(w http.ResponseWriter, r *http.Request) {
+	sreq, ctx, cancel, text, ok := serve.DecodeInvertRequest(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	tenant := r.Header.Get("X-Tenant")
+	if tenant == "" {
+		tenant = r.URL.Query().Get("tenant")
+	}
+	res, err := f.Do(ctx, Request{Request: sreq, Tenant: tenant})
+	if err != nil {
+		writeFedError(w, err)
+		return
+	}
+	w.Header().Set("X-Shard", strconv.Itoa(res.Shard))
+	w.Header().Set("X-Fed-Home", strconv.Itoa(res.Home))
+	w.Header().Set("X-Fed-Route", res.Route)
+	serve.EncodeInvertResponse(w, text, res.Result)
+}
+
+// writeFedError maps federation errors first, then falls back to the
+// serve-layer mapping.
+func writeFedError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrTenantQuota):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, ErrUnknownTenant):
+		http.Error(w, err.Error(), http.StatusForbidden)
+	case errors.Is(err, ErrNoShard):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		serve.WriteError(w, err)
+	}
+}

@@ -1,0 +1,168 @@
+package fed
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/workload"
+)
+
+func postMatrix(t *testing.T, client *http.Client, url string, a *matrix.Dense, tenant string) *http.Response {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := matrix.WriteBinary(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestFleetHTTPEndToEnd(t *testing.T) {
+	f := mustFleet(t, Config{
+		Shards:  3,
+		Tenants: map[string]TenantSpec{"gold": {Quota: 8, Priority: 5}, "*": {Quota: 0}},
+		Shard:   shardConfig(),
+	})
+	ts := httptest.NewServer(NewHandler(f))
+	defer ts.Close()
+	client := ts.Client()
+
+	a := workload.DiagonallyDominant(32, 5)
+	resp := postMatrix(t, client, ts.URL+"/invert", a, "gold")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	firstShard := resp.Header.Get("X-Shard")
+	if firstShard == "" || resp.Header.Get("X-Fed-Home") != firstShard {
+		t.Fatalf("shard headers: X-Shard=%q X-Fed-Home=%q",
+			firstShard, resp.Header.Get("X-Fed-Home"))
+	}
+	if resp.Header.Get("X-Fed-Route") != "home" {
+		t.Fatalf("X-Fed-Route = %q", resp.Header.Get("X-Fed-Route"))
+	}
+	inv, err := matrix.ReadBinary(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInverse(t, a, inv)
+
+	// The duplicate must hit the same shard's cache.
+	resp = postMatrix(t, client, ts.URL+"/invert", a, "gold")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("duplicate status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Shard"); got != firstShard {
+		t.Fatalf("duplicate served by shard %s, first by %s", got, firstShard)
+	}
+	if src := resp.Header.Get("X-Source"); src != "cache" {
+		t.Fatalf("duplicate X-Source = %q", src)
+	}
+	resp.Body.Close()
+
+	// /statz decodes as fleet stats and reflects the traffic.
+	resp, err = client.Get(ts.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Requests != 2 || len(st.Shards) != 3 || st.CacheHits != 1 {
+		t.Fatalf("stats: requests=%d shards=%d cache_hits=%d", st.Requests, len(st.Shards), st.CacheHits)
+	}
+	shardID, _ := strconv.Atoi(firstShard)
+	if st.Shards[shardID].Requests != 2 {
+		t.Fatalf("per-shard requests: %+v", st.Shards[shardID])
+	}
+	var frac float64
+	for _, ss := range st.Shards {
+		frac += ss.RingFraction
+	}
+	if frac < 0.999 || frac > 1.001 {
+		t.Fatalf("ring fractions sum to %v", frac)
+	}
+	found := false
+	for _, tn := range st.Tenants {
+		if tn.Name == "gold" && tn.Requests == 2 && tn.Priority == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("gold tenant row missing: %+v", st.Tenants)
+	}
+
+	// /healthz and /metricz respond.
+	resp, err = client.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+	resp, err = client.Get(ts.URL + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	buf := make([]byte, 1<<16)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	resp.Body.Close()
+	if !strings.Contains(sb.String(), "fed.requests") || !strings.Contains(sb.String(), "# shard 2") {
+		t.Fatalf("metricz missing fleet or shard sections:\n%s", sb.String())
+	}
+}
+
+func TestFleetHTTPTenantErrors(t *testing.T) {
+	f := mustFleet(t, Config{
+		Shards:  2,
+		Tenants: map[string]TenantSpec{"gold": {Quota: 8}},
+		Shard:   shardConfig(),
+	})
+	ts := httptest.NewServer(NewHandler(f))
+	defer ts.Close()
+
+	a := workload.DiagonallyDominant(24, 1)
+	// Unknown tenant without a "*" class: 403.
+	resp := postMatrix(t, ts.Client(), ts.URL+"/invert", a, "stranger")
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("unknown tenant status %d, want 403", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// No tenant header resolves to DefaultTenant, which is unknown here
+	// too.
+	resp = postMatrix(t, ts.Client(), ts.URL+"/invert", a, "")
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("anonymous status %d, want 403", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// The tenant query parameter works as the header's fallback.
+	resp = postMatrix(t, ts.Client(), ts.URL+"/invert?tenant=gold", a, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query-param tenant status %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+}

@@ -1,0 +1,198 @@
+package fed
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ErrTenantQuota reports that a tenant has exhausted its in-flight
+// admission quota; the caller should back off and retry (HTTP 429).
+var ErrTenantQuota = errors.New("fed: tenant quota exhausted")
+
+// ErrUnknownTenant reports a tenant not present in the fleet's tenant
+// table when the table has no "*" default class (HTTP 403).
+var ErrUnknownTenant = errors.New("fed: unknown tenant")
+
+// DefaultTenant is the accounting identity for requests that carry no
+// tenant at all.
+const DefaultTenant = "default"
+
+// TenantSpec is one tenant's admission contract: Quota bounds how many
+// of its requests may be in flight across the whole fleet at once
+// (<= 0 means unlimited), and Priority is the QoS class mapped onto the
+// fair-share scheduler — when nonzero it overrides whatever priority the
+// request itself claims, so a tenant cannot self-promote past its class.
+type TenantSpec struct {
+	Quota    int `json:"quota"`
+	Priority int `json:"priority"`
+}
+
+// ParseTenants parses a tenant table from "name=quota:priority,..."
+// (e.g. "gold=16:5,free=4:0,*=2:0"). The ":priority" part is optional
+// and defaults to 0. The "*" entry is the class applied to tenants not
+// named; without it, unknown tenants are rejected with ErrUnknownTenant.
+// An empty spec yields a nil table: every tenant unlimited at priority 0.
+func ParseTenants(s string) (map[string]TenantSpec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]TenantSpec)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		nv := strings.SplitN(part, "=", 2)
+		if len(nv) != 2 || strings.TrimSpace(nv[0]) == "" {
+			return nil, fmt.Errorf("fed: tenant entry %q: want name=quota[:priority]", part)
+		}
+		name := strings.TrimSpace(nv[0])
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("fed: tenant %q listed twice", name)
+		}
+		qp := strings.SplitN(nv[1], ":", 2)
+		quota, err := strconv.Atoi(strings.TrimSpace(qp[0]))
+		if err != nil {
+			return nil, fmt.Errorf("fed: tenant %q: bad quota %q", name, qp[0])
+		}
+		spec := TenantSpec{Quota: quota}
+		if len(qp) == 2 {
+			if spec.Priority, err = strconv.Atoi(strings.TrimSpace(qp[1])); err != nil {
+				return nil, fmt.Errorf("fed: tenant %q: bad priority %q", name, qp[1])
+			}
+		}
+		out[name] = spec
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("fed: empty tenant spec %q", s)
+	}
+	return out, nil
+}
+
+// tenants is the runtime tenant-admission state: per-tenant in-flight
+// counts checked against quotas, plus the counters surfaced in /statz.
+type tenants struct {
+	specs map[string]TenantSpec // nil = everything unlimited
+
+	mu    sync.Mutex
+	state map[string]*tenantState
+}
+
+type tenantState struct {
+	spec      TenantSpec
+	inflight  int
+	requests  int64
+	rejected  int64
+	spills    int64
+	completed int64
+	failed    int64
+}
+
+func newTenants(specs map[string]TenantSpec) *tenants {
+	return &tenants{specs: specs, state: make(map[string]*tenantState)}
+}
+
+// lookup resolves a tenant name to its runtime state, falling back to the
+// "*" class for unnamed tenants. Must be called with t.mu held.
+func (t *tenants) lookup(name string) (*tenantState, error) {
+	if st, ok := t.state[name]; ok {
+		return st, nil
+	}
+	spec, ok := t.specs[name]
+	if !ok {
+		if t.specs == nil {
+			spec = TenantSpec{} // unlimited, priority 0
+		} else if def, hasDef := t.specs["*"]; hasDef {
+			spec = def
+		} else {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, name)
+		}
+	}
+	st := &tenantState{spec: spec}
+	t.state[name] = st
+	return st, nil
+}
+
+// acquire admits one request for the tenant, returning the effective
+// fair-share priority for it (the tenant's QoS class when nonzero, the
+// request's own claim otherwise) and a release closure that records the
+// outcome. reqPriority is the priority the request asked for itself.
+func (t *tenants) acquire(name string, reqPriority int) (priority int, release func(ok bool), err error) {
+	if name == "" {
+		name = DefaultTenant
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, err := t.lookup(name)
+	if err != nil {
+		return 0, nil, err
+	}
+	st.requests++
+	if st.spec.Quota > 0 && st.inflight >= st.spec.Quota {
+		st.rejected++
+		return 0, nil, fmt.Errorf("%w: %q at %d in flight", ErrTenantQuota, name, st.inflight)
+	}
+	st.inflight++
+	priority = reqPriority
+	if st.spec.Priority != 0 {
+		priority = st.spec.Priority
+	}
+	release = func(ok bool) {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		st.inflight--
+		if ok {
+			st.completed++
+		} else {
+			st.failed++
+		}
+	}
+	return priority, release, nil
+}
+
+// noteSpill records that one of the tenant's requests left its home
+// shard.
+func (t *tenants) noteSpill(name string) {
+	if name == "" {
+		name = DefaultTenant
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if st, ok := t.state[name]; ok {
+		st.spills++
+	}
+}
+
+// TenantStats is one tenant's /statz row.
+type TenantStats struct {
+	Name      string `json:"name"`
+	Quota     int    `json:"quota"`
+	Priority  int    `json:"priority"`
+	Inflight  int    `json:"inflight"`
+	Requests  int64  `json:"requests"`
+	Rejected  int64  `json:"rejected"`
+	Spills    int64  `json:"spills"`
+	Completed int64  `json:"completed"`
+	Failed    int64  `json:"failed"`
+}
+
+// stats snapshots every tenant seen so far, sorted by name.
+func (t *tenants) stats() []TenantStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TenantStats, 0, len(t.state))
+	for name, st := range t.state {
+		out = append(out, TenantStats{
+			Name: name, Quota: st.spec.Quota, Priority: st.spec.Priority,
+			Inflight: st.inflight, Requests: st.requests, Rejected: st.rejected,
+			Spills: st.spills, Completed: st.completed, Failed: st.failed,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

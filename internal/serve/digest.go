@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"math"
 
+	"repro/internal/core"
 	"repro/internal/matrix"
 )
 
@@ -15,28 +16,60 @@ import (
 // every pipeline parameter that changes the floating-point evaluation
 // order (nb and the node count change the block recursion; the Section 6
 // toggles change the kernels), not just the matrix bytes.
+//
+// The digest is also the federation tier's routing key (internal/fed
+// hashes it onto the shard ring), so it sits on the hot path of every
+// request: the matrix payload is encoded into a chunk buffer and fed to
+// the hash in bulk writes rather than one 8-byte Write per element.
 func requestKey(a *matrix.Dense, nodes, nb int, separate, wrap, transpose, stream bool) string {
 	h := sha256.New()
-	var buf [8]byte
-	put := func(v uint64) {
-		binary.LittleEndian.PutUint64(buf[:], v)
-		h.Write(buf[:])
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(a.Rows))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(a.Cols))
+	h.Write(hdr[:])
+	const chunkFloats = 512
+	var buf [chunkFloats * 8]byte
+	data := a.Data
+	for len(data) > 0 {
+		n := len(data)
+		if n > chunkFloats {
+			n = chunkFloats
+		}
+		for i, v := range data[:n] {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+		}
+		h.Write(buf[:n*8])
+		data = data[n:]
 	}
-	put(uint64(a.Rows))
-	put(uint64(a.Cols))
-	for _, v := range a.Data {
-		put(math.Float64bits(v))
-	}
-	put(uint64(nodes))
-	put(uint64(nb))
+	var tail [24]byte
+	binary.LittleEndian.PutUint64(tail[0:8], uint64(nodes))
+	binary.LittleEndian.PutUint64(tail[8:16], uint64(nb))
 	var flags uint64
 	for i, b := range []bool{separate, wrap, transpose, stream} {
 		if b {
 			flags |= 1 << uint(i)
 		}
 	}
-	put(flags)
+	binary.LittleEndian.PutUint64(tail[16:24], flags)
+	h.Write(tail[:])
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// KeyFor resolves a request's dedup/cache digest against a base option
+// set: the per-request Nodes/NB overrides apply first, exactly as
+// Server.Do resolves them. The federation router computes the same digest
+// to place the request on the shard ring, which is what keeps identical
+// matrices singleflight- and cache-local to one shard.
+func KeyFor(req Request, base core.Options) string {
+	nodes, nb := base.Nodes, base.NB
+	if req.Nodes > 0 {
+		nodes = req.Nodes
+	}
+	if req.NB > 0 {
+		nb = req.NB
+	}
+	return requestKey(req.A, nodes, nb,
+		base.SeparateFiles, base.BlockWrap, base.TransposeU, base.StreamingInversion)
 }
 
 // matrixBytes is the in-memory footprint a cached inverse is charged

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/workload"
+)
+
+// referenceKey is the original element-at-a-time digest: 8 bytes per
+// hash.Write. The bulk-chunked requestKey must produce byte-identical
+// digests or every cached inverse and every ring placement would move.
+func referenceKey(a *matrix.Dense, nodes, nb int, separate, wrap, transpose, stream bool) string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(a.Rows))
+	put(uint64(a.Cols))
+	for _, v := range a.Data {
+		put(math.Float64bits(v))
+	}
+	put(uint64(nodes))
+	put(uint64(nb))
+	var flags uint64
+	for i, b := range []bool{separate, wrap, transpose, stream} {
+		if b {
+			flags |= 1 << uint(i)
+		}
+	}
+	put(flags)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func TestRequestKeyMatchesReference(t *testing.T) {
+	// Orders straddle the 512-float chunk boundary: 16 (under), 23²=529
+	// floats (just over), 64 (several chunks), plus a non-square remnant.
+	for _, n := range []int{1, 16, 23, 64} {
+		a := workload.DiagonallyDominant(n, int64(n))
+		for _, flags := range [][4]bool{
+			{false, false, false, false},
+			{true, true, true, true},
+			{true, false, true, false},
+		} {
+			got := requestKey(a, 8, 64, flags[0], flags[1], flags[2], flags[3])
+			want := referenceKey(a, 8, 64, flags[0], flags[1], flags[2], flags[3])
+			if got != want {
+				t.Fatalf("n=%d flags=%v: bulk digest %s != reference %s", n, flags, got, want)
+			}
+		}
+	}
+}
+
+func TestKeyForResolvesOverrides(t *testing.T) {
+	a := workload.DiagonallyDominant(16, 1)
+	base := core.DefaultOptions(8)
+	base.NB = 64
+	// No overrides: digest under base options.
+	if KeyFor(Request{A: a}, base) != requestKey(a, 8, 64,
+		base.SeparateFiles, base.BlockWrap, base.TransposeU, base.StreamingInversion) {
+		t.Fatal("KeyFor without overrides diverges from requestKey")
+	}
+	// Overrides must shift the key exactly as Do would resolve them.
+	if KeyFor(Request{A: a, Nodes: 4, NB: 32}, base) != requestKey(a, 4, 32,
+		base.SeparateFiles, base.BlockWrap, base.TransposeU, base.StreamingInversion) {
+		t.Fatal("KeyFor ignores Nodes/NB overrides")
+	}
+	// Priority is deliberately not part of the key.
+	if KeyFor(Request{A: a, Priority: 9}, base) != KeyFor(Request{A: a}, base) {
+		t.Fatal("priority leaked into the digest")
+	}
+}
+
+// The digest sits on the routing hot path of every federated request;
+// compare the bulk-chunked encoder against the original per-element
+// baseline with `go test -bench RequestKey ./internal/serve`.
+func BenchmarkRequestKey(b *testing.B) {
+	a := workload.DiagonallyDominant(256, 1)
+	b.SetBytes(int64(len(a.Data)) * 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		requestKey(a, 8, 64, false, true, false, false)
+	}
+}
+
+func BenchmarkRequestKeyPerElement(b *testing.B) {
+	a := workload.DiagonallyDominant(256, 1)
+	b.SetBytes(int64(len(a.Data)) * 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		referenceKey(a, 8, 64, false, true, false, false)
+	}
+}

@@ -61,9 +61,16 @@ func NewHandler(s *Server) http.Handler {
 	return mux
 }
 
-func (s *Server) handleInvert(w http.ResponseWriter, r *http.Request) {
+// DecodeInvertRequest parses a POST /invert into a Request: query
+// parameters (timeout, nodes, nb, priority) and the matrix body (binary
+// by default, text with Content-Type: text/plain). On failure it writes
+// the error response itself and reports ok = false. The returned context
+// carries the request deadline; cancel must be called when the request
+// finishes. text reports the body format, so the response can mirror it.
+// Both the single-server handler and the federation tier's shard router
+// decode requests through here.
+func DecodeInvertRequest(w http.ResponseWriter, r *http.Request) (req Request, ctx context.Context, cancel context.CancelFunc, text, ok bool) {
 	q := r.URL.Query()
-	req := Request{}
 	var err error
 	if v := q.Get("nodes"); v != "" {
 		if req.Nodes, err = strconv.Atoi(v); err != nil {
@@ -83,19 +90,17 @@ func (s *Server) handleInvert(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	ctx := r.Context()
+	ctx, cancel = r.Context(), func() {}
 	if v := q.Get("timeout"); v != "" {
 		d, derr := time.ParseDuration(v)
 		if derr != nil {
 			http.Error(w, "bad timeout: "+derr.Error(), http.StatusBadRequest)
-			return
+			return Request{}, nil, nil, false, false
 		}
-		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, d)
-		defer cancel()
 	}
 
-	text := strings.HasPrefix(r.Header.Get("Content-Type"), "text/plain")
+	text = strings.HasPrefix(r.Header.Get("Content-Type"), "text/plain")
 	body := http.MaxBytesReader(w, r.Body, DefaultMaxBodyBytes)
 	var a *matrix.Dense
 	if text {
@@ -107,27 +112,29 @@ func (s *Server) handleInvert(w http.ResponseWriter, r *http.Request) {
 		a, err = matrix.ReadBinaryLimit(body, DefaultMaxBodyBytes)
 	}
 	if err != nil {
+		cancel()
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) || errors.Is(err, matrix.ErrTooLarge) {
 			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
-			return
+			return Request{}, nil, nil, false, false
 		}
 		http.Error(w, "unreadable matrix: "+err.Error(), http.StatusBadRequest)
-		return
+		return Request{}, nil, nil, false, false
 	}
 	req.A = a
+	return req, ctx, cancel, text, true
+}
 
-	res, err := s.Do(ctx, req)
-	if err != nil {
-		writeDoError(w, err)
-		return
-	}
+// EncodeInvertResponse writes a completed inversion in the request's
+// format with the X-Source / X-Jobs / X-Elapsed / X-Slot-Wait headers.
+func EncodeInvertResponse(w http.ResponseWriter, text bool, res *Result) {
 	w.Header().Set("X-Source", res.Source)
 	if res.Rep != nil {
 		w.Header().Set("X-Jobs", strconv.Itoa(res.Rep.JobsRun))
 		w.Header().Set("X-Elapsed", res.Rep.Elapsed.String())
 		w.Header().Set("X-Slot-Wait", res.Rep.SlotWait.String())
 	}
+	var err error
 	if text {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		err = matrix.WriteText(w, res.Inv)
@@ -138,9 +145,23 @@ func (s *Server) handleInvert(w http.ResponseWriter, r *http.Request) {
 	_ = err // headers are out; nothing sensible left to report
 }
 
-// writeDoError maps a serving error to its HTTP status. The typed
+func (s *Server) handleInvert(w http.ResponseWriter, r *http.Request) {
+	req, ctx, cancel, text, ok := DecodeInvertRequest(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	res, err := s.Do(ctx, req)
+	if err != nil {
+		WriteError(w, err)
+		return
+	}
+	EncodeInvertResponse(w, text, res)
+}
+
+// WriteError maps a serving error to its HTTP status. The typed
 // validation sentinels become 400s — client mistakes, not server faults.
-func writeDoError(w http.ResponseWriter, err error) {
+func WriteError(w http.ResponseWriter, err error) {
 	var status int
 	switch {
 	case errors.Is(err, core.ErrNilMatrix),

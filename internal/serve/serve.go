@@ -219,6 +219,21 @@ func New(cfg Config) (*Server, error) {
 // Metrics returns the server's registry.
 func (s *Server) Metrics() *obs.Registry { return s.met }
 
+// BaseOptions returns the server's base pipeline options (before
+// per-request overrides). The federation router digests requests against
+// these to compute the same routing key Do will use.
+func (s *Server) BaseOptions() core.Options { return s.cfg.Opts }
+
+// QueueLoad reports the admission queue's current depth and capacity —
+// the federation router's saturation probe. depth == capacity means the
+// next leader-creating arrival would be rejected with ErrOverloaded.
+func (s *Server) QueueLoad() (depth, capacity int) { return len(s.queue), cap(s.queue) }
+
+// Healthy reports whether the server can take new work: not draining and
+// at least one simulated datanode alive. A chaos plan that kills nodes
+// flips this until restarts land.
+func (s *Server) Healthy() bool { return !s.isDraining() && s.fs.AliveNodes() > 0 }
+
 func (s *Server) isDraining() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -275,8 +290,7 @@ func (s *Server) Do(ctx context.Context, req Request) (*Result, error) {
 		s.met.Counter("serve.drain_rejected").Add(1)
 		return nil, ErrDraining
 	}
-	key := requestKey(req.A, opts.Nodes, opts.NB,
-		opts.SeparateFiles, opts.BlockWrap, opts.TransposeU, opts.StreamingInversion)
+	key := KeyFor(req, s.cfg.Opts)
 	if inv, ok := s.cache.Get(key); ok {
 		s.met.Counter("serve.cache_hits").Add(1)
 		s.met.Histogram("serve.e2e_latency").Observe(time.Since(start))

@@ -25,6 +25,9 @@ type RequestSpec struct {
 	// Dup marks specs that were drawn from the duplicate history rather
 	// than freshly generated.
 	Dup bool
+	// Hot marks specs drawn from the mix's fixed hot-key set (skewed
+	// traffic); hot draws are also duplicates by construction.
+	Hot bool
 }
 
 // Build materializes the request's matrix: diagonally dominant, hence
@@ -47,6 +50,13 @@ type Mix struct {
 	Entries []MixEntry
 	DupProb float64
 	History int // duplicate look-back window; default 8
+	// HotKeys, when > 0, carves out a fixed set of that many matrices
+	// drawn once at stream start; each request is one of them with
+	// probability HotProb. This is the skewed "hot key" traffic shape:
+	// a handful of matrices dominating the stream, concentrating load on
+	// their digest-home shards in a federated deployment.
+	HotKeys int
+	HotProb float64
 }
 
 // DefaultMix is a serving-scale mix: mostly small matrices with a heavy
@@ -94,6 +104,7 @@ type MixStream struct {
 	rng    *rand.Rand
 	cum    []float64 // cumulative normalized weights, aligned with Entries
 	recent []RequestSpec
+	hot    []RequestSpec
 }
 
 // Stream starts a request stream; equal (mix, seed) pairs yield equal
@@ -120,16 +131,19 @@ func (m Mix) Stream(seed int64) *MixStream {
 		acc += e.Weight / total
 		cum[i] = acc
 	}
-	return &MixStream{mix: m, rng: rand.New(rand.NewSource(seed)), cum: cum}
+	st := &MixStream{mix: m, rng: rand.New(rand.NewSource(seed)), cum: cum}
+	// The hot-key set is drawn first so it is a pure function of
+	// (mix, seed) and does not shift as the stream advances.
+	for i := 0; i < m.HotKeys; i++ {
+		st.hot = append(st.hot, RequestSpec{
+			Order: st.drawOrder(), Seed: st.rng.Int63(), Hot: true, Dup: true,
+		})
+	}
+	return st
 }
 
-// Next draws the next request of the stream.
-func (st *MixStream) Next() RequestSpec {
-	if len(st.recent) > 0 && st.rng.Float64() < st.mix.DupProb {
-		spec := st.recent[st.rng.Intn(len(st.recent))]
-		spec.Dup = true
-		return spec
-	}
+// drawOrder samples one matrix order from the weighted size distribution.
+func (st *MixStream) drawOrder() int {
 	u := st.rng.Float64()
 	order := st.mix.Entries[len(st.mix.Entries)-1].Order
 	for i, c := range st.cum {
@@ -138,7 +152,20 @@ func (st *MixStream) Next() RequestSpec {
 			break
 		}
 	}
-	spec := RequestSpec{Order: order, Seed: st.rng.Int63()}
+	return order
+}
+
+// Next draws the next request of the stream.
+func (st *MixStream) Next() RequestSpec {
+	if len(st.hot) > 0 && st.rng.Float64() < st.mix.HotProb {
+		return st.hot[st.rng.Intn(len(st.hot))]
+	}
+	if len(st.recent) > 0 && st.rng.Float64() < st.mix.DupProb {
+		spec := st.recent[st.rng.Intn(len(st.recent))]
+		spec.Dup = true
+		return spec
+	}
+	spec := RequestSpec{Order: st.drawOrder(), Seed: st.rng.Int63()}
 	st.recent = append(st.recent, spec)
 	if len(st.recent) > st.mix.History {
 		st.recent = st.recent[1:]

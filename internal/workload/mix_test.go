@@ -102,3 +102,58 @@ func TestParseMix(t *testing.T) {
 		}
 	}
 }
+
+func TestMixHotKeysSkewStream(t *testing.T) {
+	m := Mix{
+		Entries: []MixEntry{{Order: 24, Weight: 1}, {Order: 40, Weight: 1}},
+		HotKeys: 2,
+		HotProb: 0.6,
+	}
+	const n = 2000
+	specs := m.Stream(5).Take(n)
+	hotSeen := map[[2]int64]int{}
+	hotDraws := 0
+	for _, sp := range specs {
+		if sp.Hot {
+			hotDraws++
+			if !sp.Dup {
+				t.Fatal("hot draw not marked Dup")
+			}
+			hotSeen[[2]int64{int64(sp.Order), sp.Seed}]++
+		}
+	}
+	if len(hotSeen) != 2 {
+		t.Fatalf("hot draws used %d distinct keys, want 2", len(hotSeen))
+	}
+	frac := float64(hotDraws) / n
+	if frac < 0.5 || frac > 0.7 {
+		t.Fatalf("hot fraction %.3f, want ~0.6", frac)
+	}
+	// Determinism: same (mix, seed) gives the same hot set and sequence.
+	again := m.Stream(5).Take(n)
+	for i := range specs {
+		if specs[i] != again[i] {
+			t.Fatalf("stream diverged at %d: %+v vs %+v", i, specs[i], again[i])
+		}
+	}
+	// A different seed draws a different hot set.
+	other := m.Stream(6).Take(n)
+	diff := false
+	for _, sp := range other {
+		if sp.Hot && hotSeen[[2]int64{int64(sp.Order), sp.Seed}] == 0 {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("hot set identical across seeds")
+	}
+}
+
+func TestMixWithoutHotKeysUnchanged(t *testing.T) {
+	for _, sp := range DefaultMix().Stream(1).Take(500) {
+		if sp.Hot {
+			t.Fatal("Hot spec from a mix with no hot keys")
+		}
+	}
+}
