@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover cover-check bench bench-smoke chaos-smoke fleet-smoke experiments examples trace serve load fmt vet lint clean
+.PHONY: all build test race cover cover-check bench bench-smoke chaos-smoke fleet-smoke lstsq-smoke experiments examples trace serve load fmt vet lint clean
 
 all: build test
 
@@ -89,6 +89,7 @@ cover-check:
 bench-smoke:
 	$(GO) run repro/cmd/loadgen -mode closed -concurrency 4 -requests 32 -seed 1 -mix 24:5,40:3,64:2 -dup 0.25 > BENCH_report.json
 	$(GO) run repro/cmd/loadgen -shards 4 -mode closed -concurrency 8 -requests 48 -seed 1 -mix 24:5,40:3,64:2 -dup 0.4 -tenant-mix gold:3,free:1 -tenants-quota 'gold=16:5,free=8:0' >> BENCH_report.json
+	$(GO) run repro/cmd/loadgen -mode closed -concurrency 4 -requests 32 -seed 1 -mix 256x8:3,192x6:2,24:5 -dup 0.25 -verify >> BENCH_report.json
 	$(GO) run repro/cmd/mrbench -exp all -seed 1 -json >> BENCH_report.json
 	$(GO) run repro/cmd/mrbench -kill-nodes 2 -n 96 -nb 24 -seed 1 -json >> BENCH_report.json
 
@@ -103,6 +104,18 @@ fleet-smoke:
 		-hot-keys 2 -hot-frac 0.3 -tenant-mix gold:1,free:1 \
 		-tenants-quota 'gold=16:5,free=16:0' \
 		-assert-error-rate 0 -assert-min-spills 1
+
+# Seeded least-squares smoke, as run by CI: a blended square/tall mix
+# against a single in-process server and a 4-shard fleet. Tall entries
+# hit /lstsq through the TSQR pipeline; -verify checks every returned
+# solution against the sequential QR reference (1e-8), and the gate
+# requires zero failures of any kind.
+lstsq-smoke:
+	$(GO) run repro/cmd/loadgen -mode closed -concurrency 8 -requests 64 -seed 1 \
+		-mix 24:4,40:2,256x8:3,192x6:1 -dup 0.3 -verify -assert-error-rate 0
+	$(GO) run repro/cmd/loadgen -shards 4 -mode closed -concurrency 8 -requests 64 -seed 2 \
+		-mix 24:4,40:2,256x8:3,192x6:1 -dup 0.3 -hot-keys 2 -hot-frac 0.25 \
+		-verify -assert-error-rate 0
 
 # Seeded chaos smoke, as run by CI: replay the §7.4 failure-recovery
 # experiment under the race detector — kill 2 of 8 nodes mid-pipeline and

@@ -11,12 +11,15 @@
 //     429 backpressure when the rate exceeds capacity).
 //
 // Requests are drawn from an internal/workload request mix: weighted
-// sizes, a duplicate fraction, and optionally a fixed hot-key set
+// shapes, a duplicate fraction, and optionally a fixed hot-key set
 // (-hot-keys/-hot-frac) that skews traffic onto a handful of matrices —
-// the shape that concentrates load on their digest-home shards. Each
-// request is billed to a tenant drawn from -tenant-mix and sent as the
-// X-Tenant header. Everything is reproducible run-to-run under a fixed
-// -seed.
+// the shape that concentrates load on their digest-home shards. Square
+// entries ("64:3") post to /invert; tall rowsxcols entries ("512x8:2")
+// post the matrix plus a seeded right-hand side to /lstsq, and -verify
+// checks each returned solution against the sequential QR reference.
+// Each request is billed to a tenant drawn from -tenant-mix and sent as
+// the X-Tenant header. Everything is reproducible run-to-run under a
+// fixed -seed.
 //
 // With no -url, loadgen starts its own in-process fleet (-shards shards
 // behind the consistent-hash router) on a loopback port, making
@@ -54,22 +57,25 @@ import (
 	"repro/internal/fed"
 	"repro/internal/matrix"
 	"repro/internal/serve"
+	"repro/internal/tsqr"
 	"repro/internal/workload"
 )
 
 type result struct {
-	Index   int     `json:"i"`
-	Order   int     `json:"order"`
-	Dup     bool    `json:"dup"`
-	Hot     bool    `json:"hot,omitempty"`
-	Tenant  string  `json:"tenant,omitempty"`
-	Status  int     `json:"status"`
-	Source  string  `json:"source,omitempty"`
-	Shard   int     `json:"shard"`
-	Route   string  `json:"route,omitempty"`
-	Millis  float64 `json:"ms"`
-	Err     string  `json:"err,omitempty"`
-	started time.Time
+	Index    int     `json:"i"`
+	Order    int     `json:"order"`
+	Cols     int     `json:"cols,omitempty"` // 0 = square (inversion)
+	Dup      bool    `json:"dup"`
+	Hot      bool    `json:"hot,omitempty"`
+	Tenant   string  `json:"tenant,omitempty"`
+	Status   int     `json:"status"`
+	Source   string  `json:"source,omitempty"`
+	Shard    int     `json:"shard"`
+	Route    string  `json:"route,omitempty"`
+	Millis   float64 `json:"ms"`
+	Err      string  `json:"err,omitempty"`
+	Verified bool    `json:"verified,omitempty"`
+	started  time.Time
 }
 
 // groupSummary is one per-tenant or per-shard breakdown row: enough to
@@ -95,6 +101,8 @@ type summary struct {
 	Route      string         `json:"route,omitempty"`
 	Requests   int            `json:"requests"`
 	OK         int            `json:"ok"`
+	Lstsq      int            `json:"lstsq,omitempty"` // tall (least-squares) requests issued
+	Verified   int            `json:"verified,omitempty"`
 	Statuses   map[string]int `json:"statuses"`
 	CacheHits  int            `json:"cache_hits"`
 	DedupHits  int            `json:"dedup_hits"`
@@ -175,7 +183,7 @@ func main() {
 	rate := flag.Float64("rate", 16, "open-loop arrival rate, requests/second")
 	requests := flag.Int("requests", 64, "total requests to issue")
 	seed := flag.Int64("seed", 1, "workload seed: same seed, same request sequence")
-	mixSpec := flag.String("mix", "24:5,40:3,64:2", "request size mix as order:weight,...")
+	mixSpec := flag.String("mix", "24:5,40:3,64:2", "request shape mix as shape:weight,... (shape is a square order like 64, or rowsxcols like 512x8 for tall /lstsq requests)")
 	dup := flag.Float64("dup", 0.25, "duplicate-request probability (exercises dedup + cache)")
 	hotKeys := flag.Int("hot-keys", 0, "fixed hot-key set size (0 = no hot keys)")
 	hotFrac := flag.Float64("hot-frac", 0.5, "probability a request is one of the hot keys")
@@ -193,6 +201,7 @@ func main() {
 	serveQueue := flag.Int("serve-queue", 64, "in-process fleet: admission queue depth per shard")
 	chaosKill := flag.Int("chaos-kill", 0, "in-process fleet: kill this many datanodes on shard 0 under load (chaos mode)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "in-process fleet: fault-schedule seed for -chaos-kill")
+	verify := flag.Bool("verify", false, "verify each /lstsq solution against the sequential QR reference (1e-8); mismatches count as errors")
 	assertErrRate := flag.Float64("assert-error-rate", -1, "exit nonzero unless error_rate <= this (negative disables)")
 	assertMinSpills := flag.Int("assert-min-spills", -1, "exit nonzero unless at least this many requests spilled (negative disables)")
 	flag.Parse()
@@ -218,18 +227,25 @@ func main() {
 			*serveConc, *serveQueue, *chaosKill, *chaosSeed)
 		defer stop()
 	}
-	target := base + "/invert?"
+	query := "?"
 	if *timeout > 0 {
-		target += fmt.Sprintf("timeout=%s&", *timeout)
+		query += fmt.Sprintf("timeout=%s&", *timeout)
 	}
 	if *nodes > 0 {
-		target += fmt.Sprintf("nodes=%d&", *nodes)
+		query += fmt.Sprintf("nodes=%d&", *nodes)
 	}
 	if *nb > 0 {
-		target += fmt.Sprintf("nb=%d&", *nb)
+		query += fmt.Sprintf("nb=%d&", *nb)
 	}
 	if *priority != 0 {
-		target += fmt.Sprintf("priority=%d&", *priority)
+		query += fmt.Sprintf("priority=%d&", *priority)
+	}
+	// Square specs invert; tall specs least-squares solve.
+	target := func(sp workload.RequestSpec) string {
+		if sp.Tall() {
+			return base + "/lstsq" + query
+		}
+		return base + "/invert" + query
 	}
 
 	// Materialize the request sequence up front: deterministic under
@@ -258,26 +274,48 @@ func main() {
 			}
 		}
 	}
-	bodies := make(map[[2]int64][]byte)
+	// Bodies are keyed by the full (order, cols, seed) identity so a tall
+	// spec can never collide with a square one. Tall bodies carry the
+	// /lstsq wire format: matrix A immediately followed by its rhs.
+	specKey := func(sp workload.RequestSpec) [3]int64 {
+		return [3]int64{int64(sp.Order), int64(sp.Cols), sp.Seed}
+	}
+	bodies := make(map[[3]int64][]byte)
+	refs := make(map[[3]int64]*matrix.Dense) // -verify: sequential lstsq reference
 	for _, sp := range specs {
-		k := [2]int64{int64(sp.Order), sp.Seed}
-		if _, ok := bodies[k]; !ok {
-			var buf bytes.Buffer
-			if err := matrix.WriteBinary(&buf, sp.Build()); err != nil {
+		k := specKey(sp)
+		if _, ok := bodies[k]; ok {
+			continue
+		}
+		var buf bytes.Buffer
+		a := sp.Build()
+		if err := matrix.WriteBinary(&buf, a); err != nil {
+			log.Fatal(err)
+		}
+		if sp.Tall() {
+			rhs := sp.Rhs()
+			if err := matrix.WriteBinary(&buf, rhs); err != nil {
 				log.Fatal(err)
 			}
-			bodies[k] = buf.Bytes()
+			if *verify {
+				ref, err := tsqr.SequentialLstsq(a, rhs)
+				if err != nil {
+					log.Fatalf("reference solve for %dx%d seed %d: %v", sp.Order, sp.Cols, sp.Seed, err)
+				}
+				refs[k] = ref
+			}
 		}
+		bodies[k] = buf.Bytes()
 	}
-	body := func(sp workload.RequestSpec) []byte { return bodies[[2]int64{int64(sp.Order), sp.Seed}] }
+	body := func(sp workload.RequestSpec) []byte { return bodies[specKey(sp)] }
 
 	client := &http.Client{}
 	results := make([]result, *requests)
 	fire := func(i int) {
 		sp := specs[i]
-		res := result{Index: i, Order: sp.Order, Dup: sp.Dup, Hot: sp.Hot,
+		res := result{Index: i, Order: sp.Order, Cols: sp.Cols, Dup: sp.Dup, Hot: sp.Hot,
 			Tenant: billing[i], Shard: -1, started: time.Now()}
-		hreq, err := http.NewRequest(http.MethodPost, target, bytes.NewReader(body(sp)))
+		hreq, err := http.NewRequest(http.MethodPost, target(sp), bytes.NewReader(body(sp)))
 		if err != nil {
 			res.Err = err.Error()
 			results[i] = res
@@ -292,6 +330,16 @@ func main() {
 		if err != nil {
 			res.Err = err.Error()
 		} else {
+			ref := refs[specKey(sp)]
+			if ref != nil && resp.StatusCode == http.StatusOK {
+				if x, derr := matrix.ReadBinary(resp.Body); derr != nil {
+					res.Err = "undecodable solution: " + derr.Error()
+				} else if d := matrix.MaxAbsDiff(x, ref); d > 1e-8 {
+					res.Err = fmt.Sprintf("solution off sequential reference by %.3g", d)
+				} else {
+					res.Verified = true
+				}
+			}
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 			res.Status = resp.StatusCode
@@ -441,6 +489,12 @@ func summarize(mode string, seed int64, results []result, wall time.Duration) su
 			status = strconv.Itoa(r.Status)
 		}
 		s.Statuses[status]++
+		if r.Cols > 0 {
+			s.Lstsq++
+		}
+		if r.Verified {
+			s.Verified++
+		}
 		for _, g := range groups {
 			g.Requests++
 			g.Statuses[status]++

@@ -23,6 +23,11 @@
 //	POST /invert    binary matrix body -> binary inverse
 //	                query: timeout=250ms  nodes=8  nb=64  priority=5
 //	                header: X-Tenant: gold
+//	POST /lstsq     tall matrix A + right-hand side b (binary,
+//	                concatenated) -> least-squares solution via the
+//	                MapReduce TSQR pipeline (or the sequential QR kernel
+//	                when the cost model prefers it)
+//	POST /pinv      tall matrix A (binary) -> pseudo-inverse A^+
 //	GET  /healthz /statz /metricz
 //
 // Clients: cmd/loadgen drives it (fleet mode: -shards, -tenant-mix); or

@@ -55,7 +55,7 @@ func TestFleetSurvivesShardChaosBitIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatalf("reference request %d: %v", i, err)
 		}
-		want[i] = res.Inv
+		want[i] = res.Out
 	}
 
 	var wg sync.WaitGroup
@@ -71,7 +71,7 @@ func TestFleetSurvivesShardChaosBitIdentical(t *testing.T) {
 				errs[i] = err
 				return
 			}
-			got[i] = res.Inv
+			got[i] = res.Out
 		}(i, sp.order, sp.seed)
 	}
 	wg.Wait()

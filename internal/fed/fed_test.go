@@ -130,7 +130,7 @@ func TestDigestRoutingKeepsCacheShardLocal(t *testing.T) {
 	if first.Route != "home" || first.Shard != first.Home {
 		t.Fatalf("first request route=%s shard=%d home=%d", first.Route, first.Shard, first.Home)
 	}
-	checkInverse(t, a, first.Inv)
+	checkInverse(t, a, first.Out)
 
 	second, err := f.Do(ctx, Request{Request: serve.Request{A: a}})
 	if err != nil {
@@ -229,7 +229,7 @@ func TestOverflowSpillFromSaturatedHomeShard(t *testing.T) {
 	if res.Shard == home {
 		t.Fatal("spill stayed on the saturated home shard")
 	}
-	checkInverse(t, target.A, res.Inv)
+	checkInverse(t, target.A, res.Out)
 
 	st := f.Snapshot()
 	if st.Spills != 1 {

@@ -18,6 +18,10 @@ import (
 //	                tenant query param). Responds with the inverse plus
 //	                X-Shard / X-Fed-Home / X-Fed-Route headers on top of
 //	                the per-shard X-Source/X-Jobs/X-Slot-Wait.
+//	POST /lstsq     least-squares solve, body as in serve.NewHandler
+//	POST /pinv      pseudo-inverse, body as in serve.NewHandler
+//	                (both routed through the same digest ring, so repeat
+//	                solves hit their home shard's cache)
 //	GET  /healthz   liveness: 503 only when no shard is healthy
 //	GET  /statz     JSON fleet stats (per-shard serving snapshots, ring
 //	                ownership, tenant table)
@@ -33,6 +37,20 @@ func NewHandler(f *Fleet) http.Handler {
 			return
 		}
 		f.handleInvert(w, r)
+	})
+	mux.HandleFunc("/lstsq", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		f.handleSolve(w, r, serve.KindLstsq)
+	})
+	mux.HandleFunc("/pinv", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		f.handleSolve(w, r, serve.KindPinv)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		for i := range f.shards {
@@ -79,6 +97,27 @@ func (f *Fleet) handleInvert(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Fed-Home", strconv.Itoa(res.Home))
 	w.Header().Set("X-Fed-Route", res.Route)
 	serve.EncodeInvertResponse(w, text, res.Result)
+}
+
+func (f *Fleet) handleSolve(w http.ResponseWriter, r *http.Request, kind serve.Kind) {
+	sreq, ctx, cancel, ok := serve.DecodeSolveRequest(w, r, kind)
+	if !ok {
+		return
+	}
+	defer cancel()
+	tenant := r.Header.Get("X-Tenant")
+	if tenant == "" {
+		tenant = r.URL.Query().Get("tenant")
+	}
+	res, err := f.Do(ctx, Request{Request: sreq, Tenant: tenant})
+	if err != nil {
+		writeFedError(w, err)
+		return
+	}
+	w.Header().Set("X-Shard", strconv.Itoa(res.Shard))
+	w.Header().Set("X-Fed-Home", strconv.Itoa(res.Home))
+	w.Header().Set("X-Fed-Route", res.Route)
+	serve.EncodeInvertResponse(w, false, res.Result)
 }
 
 // writeFedError maps federation errors first, then falls back to the

@@ -1,0 +1,112 @@
+package fed
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/tsqr"
+	"repro/internal/workload"
+)
+
+func postSolve(t *testing.T, client *http.Client, url string, a, b *matrix.Dense) *http.Response {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := matrix.WriteBinary(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	if b != nil {
+		if err := matrix.WriteBinary(&buf, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := client.Post(url, "application/octet-stream", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestFleetLstsqEndToEnd is the federated acceptance path: a 4-shard
+// fleet serves /lstsq with the solution matching the sequential
+// reference, the repeated digest routes to the same home shard and hits
+// its cache, and /pinv rides the same ring.
+func TestFleetLstsqEndToEnd(t *testing.T) {
+	f := mustFleet(t, Config{Shards: 4, Shard: shardConfig()})
+	ts := httptest.NewServer(NewHandler(f))
+	defer ts.Close()
+	client := ts.Client()
+
+	a := workload.RandomRect(192, 6, 1201)
+	b := workload.RandomRect(192, 1, 1202)
+	resp := postSolve(t, client, ts.URL+"/lstsq", a, b)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("lstsq status %d", resp.StatusCode)
+	}
+	firstShard := resp.Header.Get("X-Shard")
+	if firstShard == "" || resp.Header.Get("X-Fed-Route") != "home" {
+		t.Fatalf("routing headers: X-Shard=%q X-Fed-Route=%q",
+			firstShard, resp.Header.Get("X-Fed-Route"))
+	}
+	x, err := matrix.ReadBinary(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := tsqr.SequentialLstsq(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(x, ref); d > 1e-8 {
+		t.Fatalf("|x - x_seq| = %g, want <= 1e-8", d)
+	}
+
+	// The duplicate solve must land on the same home shard and hit its
+	// cache — digest routing covers the solve kinds too.
+	resp = postSolve(t, client, ts.URL+"/lstsq", a, b)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("duplicate status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Shard"); got != firstShard {
+		t.Fatalf("duplicate served by shard %s, first by %s", got, firstShard)
+	}
+	if src := resp.Header.Get("X-Source"); src != "cache" {
+		t.Fatalf("duplicate X-Source = %q", src)
+	}
+	resp.Body.Close()
+
+	// /pinv on the same A is a different digest (kind discriminator), but
+	// equally servable through the ring.
+	resp = postSolve(t, client, ts.URL+"/pinv", a, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pinv status %d", resp.StatusCode)
+	}
+	pinv, err := matrix.ReadBinary(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := matrix.Mul(pinv, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(pa, matrix.Identity(6)); d > 1e-8 {
+		t.Fatalf("|A+ A - I| = %g", d)
+	}
+
+	// Error mapping passes through the fed layer: wide input -> 422.
+	resp = postSolve(t, client, ts.URL+"/lstsq",
+		workload.RandomRect(3, 9, 1), workload.RandomRect(3, 1, 2))
+	var msg bytes.Buffer
+	msg.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("wide via fed: status %d body %q", resp.StatusCode, msg.String())
+	}
+	if !strings.Contains(msg.String(), "3x9") {
+		t.Fatalf("wide error %q lacks shape", msg.String())
+	}
+}

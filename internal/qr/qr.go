@@ -17,14 +17,16 @@ import (
 // ErrSingular is returned when the input is rank deficient.
 var ErrSingular = errors.New("qr: matrix is singular")
 
-// ErrNotSquare is returned for non-square inputs where squareness is
-// required (inversion).
+// ErrNotSquare is returned for wide inputs (more columns than rows) and,
+// by Invert, for anything non-square: QR needs rows >= cols.
 var ErrNotSquare = errors.New("qr: matrix is not square")
 
 const rankTol = 1e-12
 
-// Factorization holds A = Q R with Q orthogonal (m x m) and R upper
-// triangular (m x n), computed for m >= n.
+// Factorization holds A = Q R. For square input Q is the full m x m
+// orthogonal factor and R is m x n upper triangular; for tall input
+// (m > n) the factorization is thin: Q is m x n with orthonormal columns
+// and R is n x n upper triangular.
 type Factorization struct {
 	Q *matrix.Dense
 	R *matrix.Dense
@@ -73,20 +75,29 @@ func GramSchmidt(a *matrix.Dense) (*Factorization, error) {
 	return &Factorization{Q: q, R: r}, nil
 }
 
-// Householder computes a full QR factorization of a square matrix using
-// Householder reflections; it is better conditioned than Gram-Schmidt and
-// is used as the package's default inversion path.
+// Householder computes a QR factorization using Householder reflections;
+// it is better conditioned than Gram-Schmidt and is used as the package's
+// default inversion path and as the per-block kernel of internal/tsqr.
+// Square input yields the full factorization (Q m x m, R m x m); tall
+// input (m > n) yields the thin one (Q m x n orthonormal columns, R
+// n x n upper triangular). Wide input is rejected with ErrNotSquare.
 func Householder(a *matrix.Dense) (*Factorization, error) {
-	if !a.IsSquare() {
-		return nil, fmt.Errorf("qr: Householder %dx%d: %w", a.Rows, a.Cols, ErrNotSquare)
+	m, n := a.Dims()
+	if m < n {
+		return nil, fmt.Errorf("qr: Householder %dx%d: %w", m, n, ErrNotSquare)
 	}
-	n := a.Rows
 	r := a.Clone()
-	q := matrix.Identity(n)
-	for k := 0; k < n-1; k++ {
+	q := matrix.Identity(m)
+	// A square matrix needs no reflector for the last column (nothing
+	// below the diagonal); a tall one does, to zero rows n..m-1.
+	steps := n - 1
+	if m > n {
+		steps = n
+	}
+	for k := 0; k < steps; k++ {
 		// Build the reflector for column k.
 		var normx float64
-		for i := k; i < n; i++ {
+		for i := k; i < m; i++ {
 			normx += r.At(i, k) * r.At(i, k)
 		}
 		normx = math.Sqrt(normx)
@@ -94,9 +105,9 @@ func Householder(a *matrix.Dense) (*Factorization, error) {
 			continue
 		}
 		alpha := -math.Copysign(normx, r.At(k, k))
-		v := make([]float64, n)
+		v := make([]float64, m)
 		v[k] = r.At(k, k) - alpha
-		for i := k + 1; i < n; i++ {
+		for i := k + 1; i < m; i++ {
 			v[i] = r.At(i, k)
 		}
 		vnorm2 := matrix.Dot(v, v)
@@ -106,6 +117,9 @@ func Householder(a *matrix.Dense) (*Factorization, error) {
 		// Apply H = I - 2 v v^T / (v^T v) to R (left) and accumulate into Q.
 		applyReflector(r, v, vnorm2, k)
 		applyReflectorRight(q, v, vnorm2, k)
+	}
+	if m > n {
+		return &Factorization{Q: q.Block(0, m, 0, n), R: r.Block(0, n, 0, n)}, nil
 	}
 	return &Factorization{Q: q, R: r}, nil
 }

@@ -87,9 +87,34 @@ func TestHouseholder(t *testing.T) {
 	}
 }
 
+// Only wide matrices (cols > rows) are rejected; tall ones get a thin QR.
 func TestHouseholderNotSquare(t *testing.T) {
 	if _, err := Householder(matrix.New(3, 4)); !errors.Is(err, ErrNotSquare) {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHouseholderTall(t *testing.T) {
+	for _, dims := range [][2]int{{8, 3}, {20, 5}, {7, 6}, {9, 1}} {
+		m, n := dims[0], dims[1]
+		a := workload.RandomRect(m, n, int64(100*m+n))
+		f, err := Householder(a)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", m, n, err)
+		}
+		if f.Q.Rows != m || f.Q.Cols != n || f.R.Rows != n || f.R.Cols != n {
+			t.Fatalf("%dx%d: thin shapes Q %dx%d R %dx%d",
+				m, n, f.Q.Rows, f.Q.Cols, f.R.Rows, f.R.Cols)
+		}
+		orthonormalColumns(t, f.Q, 1e-12)
+		upperTriangular(t, f.R, 1e-12)
+		qr, err := matrix.Mul(f.Q, f.R)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := matrix.MaxAbsDiff(qr, a); d > 1e-12 {
+			t.Fatalf("%dx%d: QR != A by %g", m, n, d)
+		}
 	}
 }
 

@@ -27,7 +27,7 @@ func TestServerSurvivesChaosPlan(t *testing.T) {
 		if err != nil {
 			t.Fatalf("request %d under chaos: %v", i, err)
 		}
-		checkInverse(t, a, res.Inv)
+		checkInverse(t, a, res.Out)
 	}
 
 	st := s.Snapshot()
@@ -95,7 +95,7 @@ func TestChaosServerDrains(t *testing.T) {
 			if o.err != nil {
 				t.Fatalf("in-flight request under chaos: %v", o.err)
 			}
-			checkInverse(t, workload.DiagonallyDominant(48, int64(40+o.i)), o.res.Inv)
+			checkInverse(t, workload.DiagonallyDominant(48, int64(40+o.i)), o.res.Out)
 		case <-time.After(30 * time.Second):
 			t.Fatal("request under chaos did not finish")
 		}

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"hash"
 	"math"
 
 	"repro/internal/core"
@@ -23,24 +24,7 @@ import (
 // the hash in bulk writes rather than one 8-byte Write per element.
 func requestKey(a *matrix.Dense, nodes, nb int, separate, wrap, transpose, stream bool) string {
 	h := sha256.New()
-	var hdr [16]byte
-	binary.LittleEndian.PutUint64(hdr[0:8], uint64(a.Rows))
-	binary.LittleEndian.PutUint64(hdr[8:16], uint64(a.Cols))
-	h.Write(hdr[:])
-	const chunkFloats = 512
-	var buf [chunkFloats * 8]byte
-	data := a.Data
-	for len(data) > 0 {
-		n := len(data)
-		if n > chunkFloats {
-			n = chunkFloats
-		}
-		for i, v := range data[:n] {
-			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
-		}
-		h.Write(buf[:n*8])
-		data = data[n:]
-	}
+	hashMatrix(h, a)
 	var tail [24]byte
 	binary.LittleEndian.PutUint64(tail[0:8], uint64(nodes))
 	binary.LittleEndian.PutUint64(tail[8:16], uint64(nb))
@@ -55,11 +39,58 @@ func requestKey(a *matrix.Dense, nodes, nb int, separate, wrap, transpose, strea
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// hashMatrix feeds one matrix into the digest: a 16-byte rows/cols
+// header (shape-aware — a 12x3 tall payload and a 6x6 square one with
+// equal element bytes can never collide) followed by the float64 data in
+// 512-element chunks.
+func hashMatrix(h hash.Hash, m *matrix.Dense) {
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(m.Rows))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(m.Cols))
+	h.Write(hdr[:])
+	const chunkFloats = 512
+	var buf [chunkFloats * 8]byte
+	data := m.Data
+	for len(data) > 0 {
+		n := len(data)
+		if n > chunkFloats {
+			n = chunkFloats
+		}
+		for i, v := range data[:n] {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+		}
+		h.Write(buf[:n*8])
+		data = data[n:]
+	}
+}
+
+// solveKey digests a tall-matrix request (lstsq / pinv). The kind
+// discriminator makes /lstsq and /pinv on the same A distinct, the
+// matrix headers make the key shape-aware, and the right-hand side (when
+// present) is part of the key — so the LRU cache and singleflight dedup
+// work unchanged across the mixed request population. The Section 6
+// toggles are excluded: they parameterize the block-LU pipeline only.
+func solveKey(kind Kind, a, b *matrix.Dense, nodes, nb int) string {
+	h := sha256.New()
+	h.Write([]byte("tsqr/" + string(kind) + "\x00"))
+	hashMatrix(h, a)
+	if b != nil {
+		hashMatrix(h, b)
+	}
+	var tail [16]byte
+	binary.LittleEndian.PutUint64(tail[0:8], uint64(nodes))
+	binary.LittleEndian.PutUint64(tail[8:16], uint64(nb))
+	h.Write(tail[:])
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // KeyFor resolves a request's dedup/cache digest against a base option
 // set: the per-request Nodes/NB overrides apply first, exactly as
 // Server.Do resolves them. The federation router computes the same digest
 // to place the request on the shard ring, which is what keeps identical
-// matrices singleflight- and cache-local to one shard.
+// matrices singleflight- and cache-local to one shard. Invert digests
+// are unchanged from previous releases; solve kinds get their own keyed
+// namespace.
 func KeyFor(req Request, base core.Options) string {
 	nodes, nb := base.Nodes, base.NB
 	if req.Nodes > 0 {
@@ -67,6 +98,9 @@ func KeyFor(req Request, base core.Options) string {
 	}
 	if req.NB > 0 {
 		nb = req.NB
+	}
+	if req.Kind == KindLstsq || req.Kind == KindPinv {
+		return solveKey(req.Kind, req.A, req.B, nodes, nb)
 	}
 	return requestKey(req.A, nodes, nb,
 		base.SeparateFiles, base.BlockWrap, base.TransposeU, base.StreamingInversion)

@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -13,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mapreduce"
 	"repro/internal/matrix"
+	"repro/internal/tsqr"
 )
 
 // DefaultMaxBodyBytes bounds the request body (a binary matrix): 64 MiB
@@ -21,17 +24,27 @@ const DefaultMaxBodyBytes = 64 << 20
 
 // NewHandler exposes the server over HTTP:
 //
-//	POST /invert    body = matrix (binary by default, text with
+//	POST /invert    body = square matrix (binary by default, text with
 //	                Content-Type: text/plain); query params timeout
 //	                (Go duration), nodes, nb, priority. Responds with the
 //	                inverse in the same format, plus X-Source/X-Jobs/
 //	                X-Slot-Wait headers.
+//	POST /lstsq     body = tall matrix A immediately followed by the
+//	                right-hand side b, both in the binary format (the
+//	                fixed-size header makes the boundary self-describing;
+//	                text bodies are rejected with 415). Responds with the
+//	                least-squares solution x = R^-1 Q^T b in binary.
+//	POST /pinv      body = tall matrix A in the binary format. Responds
+//	                with the pseudo-inverse A^+ = R^-1 Q^T in binary.
 //	GET  /healthz   liveness (503 while draining)
 //	GET  /statz     JSON serving stats
 //	GET  /metricz   plain-text metrics registry
 //
-// Error mapping: invalid input 400, queue overflow 429, draining 503,
-// deadline/cancellation 504, singular input 422, body too large 413.
+// Error mapping: malformed input 400, queue overflow 429, draining 503,
+// deadline/cancellation 504, body too large 413, and 422 for inputs
+// that parse but are semantically unusable — a rectangular /invert body
+// (with the observed shape in the message), a wide or rank-deficient
+// solve input, a right-hand-side shape mismatch, a singular inversion.
 func NewHandler(s *Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/invert", func(w http.ResponseWriter, r *http.Request) {
@@ -40,6 +53,20 @@ func NewHandler(s *Server) http.Handler {
 			return
 		}
 		s.handleInvert(w, r)
+	})
+	mux.HandleFunc("/lstsq", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		s.handleSolve(w, r, KindLstsq)
+	})
+	mux.HandleFunc("/pinv", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		s.handleSolve(w, r, KindPinv)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if s.Snapshot().Draining {
@@ -70,6 +97,41 @@ func NewHandler(s *Server) http.Handler {
 // Both the single-server handler and the federation tier's shard router
 // decode requests through here.
 func DecodeInvertRequest(w http.ResponseWriter, r *http.Request) (req Request, ctx context.Context, cancel context.CancelFunc, text, ok bool) {
+	req, ctx, cancel, ok = decodeParams(w, r)
+	if !ok {
+		return Request{}, nil, nil, false, false
+	}
+
+	text = strings.HasPrefix(r.Header.Get("Content-Type"), "text/plain")
+	body := http.MaxBytesReader(w, r.Body, DefaultMaxBodyBytes)
+	var a *matrix.Dense
+	var err error
+	if text {
+		a, err = matrix.ReadText(body)
+	} else {
+		// The limit must reach inside the decoder: MaxBytesReader only
+		// bounds bytes read, and the header-declared dimensions would be
+		// allocated before any payload byte is consumed.
+		a, err = matrix.ReadBinaryLimit(body, DefaultMaxBodyBytes)
+	}
+	if err != nil {
+		cancel()
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) || errors.Is(err, matrix.ErrTooLarge) {
+			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+			return Request{}, nil, nil, false, false
+		}
+		http.Error(w, "unreadable matrix: "+err.Error(), http.StatusBadRequest)
+		return Request{}, nil, nil, false, false
+	}
+	req.A = a
+	return req, ctx, cancel, text, true
+}
+
+// decodeParams parses the query parameters shared by every POST
+// endpoint (timeout, nodes, nb, priority) and derives the request
+// context. On failure it writes the error response and reports !ok.
+func decodeParams(w http.ResponseWriter, r *http.Request) (req Request, ctx context.Context, cancel context.CancelFunc, ok bool) {
 	q := r.URL.Query()
 	var err error
 	if v := q.Get("nodes"); v != "" {
@@ -95,34 +157,77 @@ func DecodeInvertRequest(w http.ResponseWriter, r *http.Request) (req Request, c
 		d, derr := time.ParseDuration(v)
 		if derr != nil {
 			http.Error(w, "bad timeout: "+derr.Error(), http.StatusBadRequest)
-			return Request{}, nil, nil, false, false
+			return Request{}, nil, nil, false
 		}
 		ctx, cancel = context.WithTimeout(ctx, d)
 	}
+	return req, ctx, cancel, true
+}
 
-	text = strings.HasPrefix(r.Header.Get("Content-Type"), "text/plain")
-	body := http.MaxBytesReader(w, r.Body, DefaultMaxBodyBytes)
-	var a *matrix.Dense
-	if text {
-		a, err = matrix.ReadText(body)
-	} else {
-		// The limit must reach inside the decoder: MaxBytesReader only
-		// bounds bytes read, and the header-declared dimensions would be
-		// allocated before any payload byte is consumed.
-		a, err = matrix.ReadBinaryLimit(body, DefaultMaxBodyBytes)
+// DecodeSolveRequest parses a POST /lstsq or /pinv into a Request. The
+// body is binary-only: matrix A and, for lstsq, the right-hand side b
+// immediately after it — the binary header is fixed-size, so the
+// boundary is computed from A's declared shape rather than trusted from
+// the client. Query parameters match /invert. On failure it writes the
+// error response itself and reports ok = false.
+func DecodeSolveRequest(w http.ResponseWriter, r *http.Request, kind Kind) (req Request, ctx context.Context, cancel context.CancelFunc, ok bool) {
+	req, ctx, cancel, ok = decodeParams(w, r)
+	if !ok {
+		return Request{}, nil, nil, false
 	}
-	if err != nil {
+	req.Kind = kind
+	fail := func(status int, msg string) (Request, context.Context, context.CancelFunc, bool) {
 		cancel()
+		http.Error(w, msg, status)
+		return Request{}, nil, nil, false
+	}
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "text/plain") {
+		return fail(http.StatusUnsupportedMediaType, "solve endpoints accept the binary matrix format only")
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, DefaultMaxBodyBytes))
+	if err != nil {
 		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) || errors.Is(err, matrix.ErrTooLarge) {
-			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
-			return Request{}, nil, nil, false, false
+		if errors.As(err, &tooLarge) {
+			return fail(http.StatusRequestEntityTooLarge, err.Error())
 		}
-		http.Error(w, "unreadable matrix: "+err.Error(), http.StatusBadRequest)
-		return Request{}, nil, nil, false, false
+		return fail(http.StatusBadRequest, "unreadable body: "+err.Error())
+	}
+	a, err := matrix.ReadBinaryLimit(bytes.NewReader(body), DefaultMaxBodyBytes)
+	if err != nil {
+		if errors.Is(err, matrix.ErrTooLarge) {
+			return fail(http.StatusRequestEntityTooLarge, err.Error())
+		}
+		return fail(http.StatusBadRequest, "unreadable matrix: "+err.Error())
 	}
 	req.A = a
-	return req, ctx, cancel, text, true
+	if kind == KindLstsq {
+		// ReadBinaryLimit buffers ahead, so the rhs offset comes from A's
+		// declared shape, not from the reader's position.
+		off := matrix.BinarySize(a.Rows, a.Cols)
+		if int64(len(body)) <= off {
+			return fail(http.StatusBadRequest, "missing right-hand side after matrix A")
+		}
+		b, err := matrix.ReadBinaryLimit(bytes.NewReader(body[off:]), DefaultMaxBodyBytes)
+		if err != nil {
+			return fail(http.StatusBadRequest, "unreadable right-hand side: "+err.Error())
+		}
+		req.B = b
+	}
+	return req, ctx, cancel, true
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request, kind Kind) {
+	req, ctx, cancel, ok := DecodeSolveRequest(w, r, kind)
+	if !ok {
+		return
+	}
+	defer cancel()
+	res, err := s.Do(ctx, req)
+	if err != nil {
+		WriteError(w, err)
+		return
+	}
+	EncodeInvertResponse(w, false, res)
 }
 
 // EncodeInvertResponse writes a completed inversion in the request's
@@ -137,10 +242,10 @@ func EncodeInvertResponse(w http.ResponseWriter, text bool, res *Result) {
 	var err error
 	if text {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		err = matrix.WriteText(w, res.Inv)
+		err = matrix.WriteText(w, res.Out)
 	} else {
 		w.Header().Set("Content-Type", "application/octet-stream")
-		err = matrix.WriteBinary(w, res.Inv)
+		err = matrix.WriteBinary(w, res.Out)
 	}
 	_ = err // headers are out; nothing sensible left to report
 }
@@ -159,14 +264,18 @@ func (s *Server) handleInvert(w http.ResponseWriter, r *http.Request) {
 	EncodeInvertResponse(w, text, res)
 }
 
-// WriteError maps a serving error to its HTTP status. The typed
-// validation sentinels become 400s — client mistakes, not server faults.
+// WriteError maps a serving error to its HTTP status. Malformed inputs
+// (nil, empty, bad options) are 400s — client mistakes. Inputs that
+// parse but are semantically unusable for the requested computation — a
+// rectangular /invert body, a wide or rank-deficient solve input, a
+// right-hand-side shape mismatch, a singular matrix, a failed residual
+// guardrail — are 422s, with the observed shape carried in the message
+// by the validators.
 func WriteError(w http.ResponseWriter, err error) {
 	var status int
 	switch {
 	case errors.Is(err, core.ErrNilMatrix),
 		errors.Is(err, core.ErrEmptyMatrix),
-		errors.Is(err, core.ErrNotSquare),
 		errors.Is(err, core.ErrBadOptions):
 		status = http.StatusBadRequest
 	case errors.Is(err, ErrOverloaded):
@@ -178,7 +287,12 @@ func WriteError(w http.ResponseWriter, err error) {
 		errors.Is(err, context.Canceled),
 		errors.Is(err, mapreduce.ErrJobCanceled):
 		status = http.StatusGatewayTimeout
-	case errors.Is(err, core.ErrSingularBlock):
+	case errors.Is(err, core.ErrNotSquare),
+		errors.Is(err, core.ErrSingularBlock),
+		errors.Is(err, tsqr.ErrNotTall),
+		errors.Is(err, tsqr.ErrShapeMismatch),
+		errors.Is(err, tsqr.ErrRankDeficient),
+		errors.Is(err, tsqr.ErrResidual):
 		status = http.StatusUnprocessableEntity
 	default:
 		status = http.StatusInternalServerError

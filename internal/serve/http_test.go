@@ -279,20 +279,25 @@ func TestHTTPHostileHeaderRejected(t *testing.T) {
 	}
 }
 
-// TestHTTPValidationErrors maps the typed facade sentinels to 400s.
+// TestHTTPValidationErrors maps the typed facade sentinels to 400s
+// (malformed) and 422s (parses but semantically unusable).
 func TestHTTPValidationErrors(t *testing.T) {
 	opts := core.DefaultOptions(4)
 	opts.NB = 16
 	_, hs := startServer(t, serve.Config{Opts: opts})
 	client := hs.Client()
 
-	// Rectangular matrix: structurally valid upload, invalid input -> 400.
+	// Rectangular matrix: structurally valid upload that cannot be
+	// inverted -> 422, with the observed shape in the message.
 	resp, body := postMatrix(t, client, hs.URL+"/invert", matrix.New(3, 5))
-	if resp.StatusCode != http.StatusBadRequest {
+	if resp.StatusCode != http.StatusUnprocessableEntity {
 		t.Fatalf("non-square: status %d body %q", resp.StatusCode, body)
 	}
 	if !strings.Contains(string(body), "not square") {
 		t.Fatalf("non-square error body %q", body)
+	}
+	if !strings.Contains(string(body), "3x5") {
+		t.Fatalf("non-square error body %q lacks observed shape", body)
 	}
 
 	// Empty matrix -> 400 (ErrEmptyMatrix), not a 500.

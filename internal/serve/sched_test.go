@@ -31,7 +31,7 @@ func TestConcurrentRequestsRespectClusterSlots(t *testing.T) {
 				t.Errorf("request %d: %v", i, err)
 				return
 			}
-			checkInverse(t, a, res.Inv)
+			checkInverse(t, a, res.Out)
 		}(i)
 	}
 	wg.Wait()
@@ -79,7 +79,7 @@ func TestMaxConcurrentJobsConfig(t *testing.T) {
 				t.Errorf("request %d: %v", i, err)
 				return
 			}
-			checkInverse(t, a, res.Inv)
+			checkInverse(t, a, res.Out)
 		}(i)
 	}
 	wg.Wait()

@@ -24,10 +24,12 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/costmodel"
 	"repro/internal/dfs"
 	"repro/internal/mapreduce"
 	"repro/internal/matrix"
 	"repro/internal/obs"
+	"repro/internal/tsqr"
 )
 
 // ErrOverloaded reports that the admission queue is full; the caller
@@ -72,26 +74,52 @@ type Config struct {
 	// execution is enabled so injected stragglers are recovered, and the
 	// injected-fault counters are surfaced in /statz.
 	Chaos *chaos.Plan
+	// Tracer, when non-nil, records spans for the shared cluster's jobs
+	// and the TSQR pipelines (tsqr.* spans), exportable as a Chrome
+	// trace. Nil disables tracing at zero cost.
+	Tracer *obs.Tracer
 }
 
-// Request is one inversion to perform. Nodes and NB, when non-zero,
-// override the server's base options for this request (and take part in
-// the dedup/cache key). Priority is the request's fair-share scheduling
-// class on the shared cluster: when slots are contended, higher-priority
-// requests' tasks are granted slots first. It is deliberately not part
-// of the dedup/cache key — the same matrix at any priority yields the
-// same inverse, and a joiner inherits the leader's priority.
+// Kind selects the computation a request asks for. The zero value is
+// inversion, so existing callers are untouched.
+type Kind string
+
+const (
+	// KindInvert runs the square block-LU inversion pipeline.
+	KindInvert Kind = ""
+	// KindLstsq solves min ||A x - b|| for a tall A via TSQR (or the
+	// sequential QR kernel when the cost model prefers it).
+	KindLstsq Kind = "lstsq"
+	// KindPinv computes the pseudo-inverse A^+ of a tall full-rank A.
+	KindPinv Kind = "pinv"
+)
+
+// Request is one computation to perform: a square inversion (the zero
+// Kind), a tall least-squares solve (Kind = KindLstsq, with B the
+// right-hand side), or a tall pseudo-inverse (Kind = KindPinv). Nodes
+// and NB, when non-zero, override the server's base options for this
+// request (and take part in the dedup/cache key). Priority is the
+// request's fair-share scheduling class on the shared cluster: when
+// slots are contended, higher-priority requests' tasks are granted slots
+// first. It is deliberately not part of the dedup/cache key — the same
+// matrix at any priority yields the same result, and a joiner inherits
+// the leader's priority.
 type Request struct {
 	A        *matrix.Dense
+	B        *matrix.Dense // KindLstsq right-hand side (m x k); nil otherwise
+	Kind     Kind
 	Nodes    int
 	NB       int
 	Priority int
 }
 
-// Result is a completed inversion.
+// Result is a completed computation.
 type Result struct {
-	Inv *matrix.Dense // shared with the cache and other waiters: read-only
-	Rep *core.Report  // nil on a cache hit
+	// Out is the computed matrix — the inverse, the least-squares
+	// solution, or the pseudo-inverse, by request kind. It is shared with
+	// the cache and other waiters: read-only.
+	Out *matrix.Dense
+	Rep *core.Report // nil on a cache hit
 	// Source tells how the result was obtained: "pipeline" (this request
 	// led the computation), "dedup" (attached to an identical in-flight
 	// request), or "cache".
@@ -104,14 +132,14 @@ type Result struct {
 // the run is canceled at the next job boundary.
 type flight struct {
 	key      string
-	a        *matrix.Dense
+	req      Request
 	opts     core.Options
 	enqueued time.Time
 
 	ctx    context.Context
 	cancel context.CancelFunc
 	done   chan struct{}
-	inv    *matrix.Dense
+	out    *matrix.Dense
 	rep    *core.Report
 	err    error
 
@@ -185,6 +213,7 @@ func New(cfg Config) (*Server, error) {
 	fs := dfs.New(cfg.Opts.Nodes, dfs.DefaultReplication)
 	cl := mapreduce.NewCluster(fs, cfg.Opts.Nodes)
 	cl.Metrics = cfg.Metrics
+	cl.Tracer = cfg.Tracer
 	cl.MaxConcurrentJobs = cfg.MaxConcurrentJobs
 	cl.SlotQuota = cfg.SlotQuota
 	fs.SetMetrics(cfg.Metrics)
@@ -256,14 +285,52 @@ func (s *Server) optsFor(req Request) (core.Options, error) {
 	return opts, err
 }
 
-// Do runs one inversion request through the serving lifecycle:
-// validation, deadline check, cache lookup, singleflight join, bounded
-// admission, pipeline execution, cache fill. It is safe for concurrent
-// use.
+// validate checks a request's inputs by kind: square inversion inputs go
+// through core.ValidateInput; tall solve inputs through the TSQR shape
+// rules (rows >= cols, matching right-hand side).
+func validate(req Request) error {
+	switch req.Kind {
+	case KindLstsq:
+		if req.A == nil {
+			return core.ErrNilMatrix
+		}
+		if req.A.Rows == 0 || req.A.Cols == 0 {
+			return fmt.Errorf("%dx%d: %w", req.A.Rows, req.A.Cols, core.ErrEmptyMatrix)
+		}
+		if err := tsqr.ValidateTall(req.A); err != nil {
+			return err
+		}
+		if req.B == nil {
+			return fmt.Errorf("missing right-hand side: %w", core.ErrNilMatrix)
+		}
+		if req.B.Rows != req.A.Rows || req.B.Cols == 0 {
+			return fmt.Errorf("A %dx%d, b %dx%d: %w",
+				req.A.Rows, req.A.Cols, req.B.Rows, req.B.Cols, tsqr.ErrShapeMismatch)
+		}
+		return nil
+	case KindPinv:
+		if req.A == nil {
+			return core.ErrNilMatrix
+		}
+		if req.A.Rows == 0 || req.A.Cols == 0 {
+			return fmt.Errorf("%dx%d: %w", req.A.Rows, req.A.Cols, core.ErrEmptyMatrix)
+		}
+		return tsqr.ValidateTall(req.A)
+	default:
+		return core.ValidateInput(req.A)
+	}
+}
+
+// Do runs one request through the serving lifecycle: validation,
+// deadline check, cache lookup, singleflight join, bounded admission,
+// pipeline execution, cache fill. It is safe for concurrent use.
 func (s *Server) Do(ctx context.Context, req Request) (*Result, error) {
 	start := time.Now()
 	s.met.Counter("serve.requests").Add(1)
-	if err := core.ValidateInput(req.A); err != nil {
+	if req.Kind != KindInvert {
+		s.met.Counter("serve.requests_" + string(req.Kind)).Add(1)
+	}
+	if err := validate(req); err != nil {
 		s.met.Counter("serve.invalid").Add(1)
 		return nil, err
 	}
@@ -291,14 +358,14 @@ func (s *Server) Do(ctx context.Context, req Request) (*Result, error) {
 		return nil, ErrDraining
 	}
 	key := KeyFor(req, s.cfg.Opts)
-	if inv, ok := s.cache.Get(key); ok {
+	if out, ok := s.cache.Get(key); ok {
 		s.met.Counter("serve.cache_hits").Add(1)
 		s.met.Histogram("serve.e2e_latency").Observe(time.Since(start))
-		return &Result{Inv: inv, Source: "cache"}, nil
+		return &Result{Out: out, Source: "cache"}, nil
 	}
 	s.met.Counter("serve.cache_misses").Add(1)
 
-	f, leader, err := s.join(key, req.A, opts)
+	f, leader, err := s.join(key, req, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -321,14 +388,14 @@ func (s *Server) Do(ctx context.Context, req Request) (*Result, error) {
 	}
 	s.met.Counter("serve.completed").Add(1)
 	s.met.Histogram("serve.e2e_latency").Observe(time.Since(start))
-	return &Result{Inv: f.inv, Rep: f.rep, Source: source}, nil
+	return &Result{Out: f.out, Rep: f.rep, Source: source}, nil
 }
 
 // join attaches the request to an identical in-flight computation, or
 // creates one and submits it to the bounded admission queue. Waiters on an
 // existing flight never consume a queue slot — deduplication is free
 // capacity.
-func (s *Server) join(key string, a *matrix.Dense, opts core.Options) (*flight, bool, error) {
+func (s *Server) join(key string, req Request, opts core.Options) (*flight, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
@@ -344,7 +411,7 @@ func (s *Server) join(key string, a *matrix.Dense, opts core.Options) (*flight, 
 		// map entry if it still points at its own flight.
 	}
 	fctx, cancel := context.WithCancel(context.Background())
-	f := &flight{key: key, a: a, opts: opts, ctx: fctx, cancel: cancel,
+	f := &flight{key: key, req: req, opts: opts, ctx: fctx, cancel: cancel,
 		done: make(chan struct{}), refs: 1, enqueued: time.Now()}
 	select {
 	case s.queue <- f:
@@ -381,11 +448,18 @@ func (s *Server) execute(f *flight) {
 	if err := f.ctx.Err(); err != nil {
 		// Every waiter left while the flight sat in the queue.
 		f.err = err
-	} else if p, perr := core.NewPipelineOn(f.opts, s.fs, s.cluster); perr != nil {
-		f.err = perr
 	} else {
 		begin := time.Now()
-		f.inv, f.rep, f.err = p.InvertCtx(f.ctx, f.a)
+		switch f.req.Kind {
+		case KindLstsq, KindPinv:
+			f.out, f.rep, f.err = s.executeSolve(f)
+		default:
+			if p, perr := core.NewPipelineOn(f.opts, s.fs, s.cluster); perr != nil {
+				f.err = perr
+			} else {
+				f.out, f.rep, f.err = p.InvertCtx(f.ctx, f.req.A)
+			}
+		}
 		s.met.Histogram("serve.pipeline_latency").Observe(time.Since(begin))
 		if f.rep != nil {
 			s.met.Histogram("serve.slot_wait").Observe(f.rep.SlotWait)
@@ -394,7 +468,7 @@ func (s *Server) execute(f *flight) {
 	// The run's intermediate files are dead weight on the shared DFS.
 	s.fs.DeleteTree(f.opts.Root)
 	if f.err == nil {
-		s.met.Counter("serve.cache_evictions").Add(int64(s.cache.Put(f.key, f.inv)))
+		s.met.Counter("serve.cache_evictions").Add(int64(s.cache.Put(f.key, f.out)))
 	}
 	s.mu.Lock()
 	// A dead flight may have been replaced by a revival in join(); only
@@ -404,6 +478,47 @@ func (s *Server) execute(f *flight) {
 	}
 	s.mu.Unlock()
 	close(f.done)
+}
+
+// executeSolve runs a tall-matrix request (lstsq or pinv): the cost
+// model picks, from the request shape alone (so equal digests always
+// take the same path), between the two-round MapReduce TSQR pipeline on
+// the shared cluster and the single-node sequential QR kernel.
+func (s *Server) executeSolve(f *flight) (*matrix.Dense, *core.Report, error) {
+	m, n := f.req.A.Dims()
+	choice := costmodel.ChooseQR(costmodel.ServingCluster(f.opts.Nodes), m, n)
+	rep := &core.Report{Order: m, NB: f.opts.NB, Nodes: f.opts.Nodes}
+	if choice.Strategy == costmodel.QRSequential {
+		s.met.Counter("serve.qr_sequential").Add(1)
+		var out *matrix.Dense
+		var err error
+		if f.req.Kind == KindLstsq {
+			out, err = tsqr.SequentialLstsq(f.req.A, f.req.B)
+		} else {
+			out, err = tsqr.SequentialPInv(f.req.A)
+		}
+		return out, rep, err
+	}
+	s.met.Counter("serve.qr_tsqr").Add(1)
+	eng := &tsqr.Engine{FS: s.fs, Cluster: s.cluster, Tracer: s.cfg.Tracer, Metrics: s.met}
+	cfg := tsqr.Config{Blocks: choice.Blocks, Root: f.opts.Root, Priority: f.opts.Priority}
+	var out *matrix.Dense
+	var trep *tsqr.Report
+	var err error
+	if f.req.Kind == KindLstsq {
+		out, trep, err = eng.LeastSquaresCtx(f.ctx, f.req.A, f.req.B, cfg)
+	} else {
+		out, trep, err = eng.PInvCtx(f.ctx, f.req.A, cfg)
+	}
+	if trep != nil {
+		rep.JobsRun = trep.JobsRun
+		rep.MapTasks = trep.MapTasks
+		rep.ReduceTasks = trep.ReduceTasks
+		rep.Elapsed = trep.Elapsed
+		rep.SlotWait = trep.SlotWait
+		rep.SlotGrants = trep.SlotGrants
+	}
+	return out, rep, err
 }
 
 // Drain stops admission, waits (bounded by ctx) for in-flight work to

@@ -53,7 +53,7 @@ func TestDoInvertsCorrectly(t *testing.T) {
 	if res.Rep == nil || res.Rep.JobsRun == 0 {
 		t.Fatal("no job report from a pipeline run")
 	}
-	checkInverse(t, a, res.Inv)
+	checkInverse(t, a, res.Out)
 }
 
 func TestCacheHitOnRepeat(t *testing.T) {
@@ -69,7 +69,7 @@ func TestCacheHitOnRepeat(t *testing.T) {
 	if res.Source != "cache" {
 		t.Fatalf("second identical request source %q, want cache", res.Source)
 	}
-	checkInverse(t, a, res.Inv)
+	checkInverse(t, a, res.Out)
 	if got := s.Metrics().Counter("serve.cache_hits").Value(); got != 1 {
 		t.Fatalf("cache_hits = %d", got)
 	}
@@ -175,8 +175,8 @@ func TestSingleflightDedupConcurrentIdentical(t *testing.T) {
 		if errs[i] != nil {
 			t.Fatalf("request %d: %v", i, errs[i])
 		}
-		checkInverse(t, a, results[i].Inv)
-		if results[i].Inv != results[0].Inv {
+		checkInverse(t, a, results[i].Out)
+		if results[i].Out != results[0].Out {
 			t.Fatal("deduplicated requests must share one inverse")
 		}
 	}
@@ -219,7 +219,7 @@ func TestJoinRevivesDeadFlight(t *testing.T) {
 	if res.Source != "pipeline" {
 		t.Fatalf("source %q, want pipeline (fresh flight, not the dead one)", res.Source)
 	}
-	checkInverse(t, a, res.Inv)
+	checkInverse(t, a, res.Out)
 	if got := s.Metrics().Counter("serve.dedup_hits").Value(); got != 0 {
 		t.Fatalf("dedup_hits = %d on a dead flight", got)
 	}
@@ -302,7 +302,7 @@ func TestOverloadRejectsAndStaysHealthy(t *testing.T) {
 	if err != nil {
 		t.Fatalf("post-burst request failed: %v", err)
 	}
-	checkInverse(t, a, res.Inv)
+	checkInverse(t, a, res.Out)
 }
 
 func TestDrainRejectsNewWork(t *testing.T) {

@@ -17,10 +17,15 @@ import (
 // reproducible request-for-request.
 
 // RequestSpec describes one generated request: a matrix identified by
-// (Order, Seed). Two specs with equal fields materialize bit-identical
-// matrices, which is what makes duplicates dedupable server-side.
+// (Order, Cols, Seed). Two specs with equal fields materialize
+// bit-identical matrices, which is what makes duplicates dedupable
+// server-side.
 type RequestSpec struct {
+	// Order is the row count; Cols is the column count, with 0 meaning
+	// square (an inversion request). Cols > 0 marks a tall least-squares
+	// request of shape Order x Cols.
 	Order int
+	Cols  int
 	Seed  int64
 	// Dup marks specs that were drawn from the duplicate history rather
 	// than freshly generated.
@@ -30,15 +35,34 @@ type RequestSpec struct {
 	Hot bool
 }
 
-// Build materializes the request's matrix: diagonally dominant, hence
-// guaranteed invertible and well conditioned at serving scale.
+// Tall reports whether the spec is a rectangular (least-squares) request.
+func (r RequestSpec) Tall() bool { return r.Cols > 0 && r.Cols != r.Order }
+
+// Build materializes the request's matrix. Square specs are diagonally
+// dominant, hence guaranteed invertible and well conditioned at serving
+// scale; tall specs draw i.i.d. Uniform(-1,1) entries, which are
+// full-rank and well conditioned with overwhelming probability at these
+// aspect ratios.
 func (r RequestSpec) Build() *matrix.Dense {
+	if r.Tall() {
+		return RandomRect(r.Order, r.Cols, r.Seed)
+	}
 	return DiagonallyDominant(r.Order, r.Seed)
 }
 
-// MixEntry weights one matrix order in a request mix.
+// Rhs materializes the right-hand side paired with a tall spec's matrix:
+// an Order x 1 vector drawn from a seed offset so it never aliases the
+// matrix stream. Equal specs yield equal right-hand sides, preserving
+// digest-level deduplication for /lstsq traffic.
+func (r RequestSpec) Rhs() *matrix.Dense {
+	return RandomRect(r.Order, 1, r.Seed^0x5eed51de)
+}
+
+// MixEntry weights one matrix shape in a request mix: Order rows by Cols
+// columns, with Cols = 0 meaning square.
 type MixEntry struct {
 	Order  int
+	Cols   int
 	Weight float64
 }
 
@@ -69,8 +93,10 @@ func DefaultMix() Mix {
 	}
 }
 
-// ParseMix parses "order:weight,order:weight,..." (e.g. "32:5,64:3,128:2").
-// Weights need not sum to 1; they are normalized on use.
+// ParseMix parses "shape:weight,shape:weight,...", where shape is either
+// a square order ("64") or an explicit rowsxcols pair ("512x8") for tall
+// least-squares entries — e.g. "32:5,64:3,512x8:2". Weights need not sum
+// to 1; they are normalized on use.
 func ParseMix(s string) ([]MixEntry, error) {
 	var out []MixEntry
 	for _, part := range strings.Split(s, ",") {
@@ -80,17 +106,37 @@ func ParseMix(s string) ([]MixEntry, error) {
 		}
 		ow := strings.SplitN(part, ":", 2)
 		if len(ow) != 2 {
-			return nil, fmt.Errorf("workload: mix entry %q: want order:weight", part)
+			return nil, fmt.Errorf("workload: mix entry %q: want shape:weight", part)
 		}
-		order, err := strconv.Atoi(strings.TrimSpace(ow[0]))
-		if err != nil || order < 1 {
-			return nil, fmt.Errorf("workload: mix entry %q: bad order", part)
+		shape := strings.TrimSpace(ow[0])
+		var order, cols int
+		var err error
+		if rc := strings.SplitN(shape, "x", 2); len(rc) == 2 {
+			order, err = strconv.Atoi(strings.TrimSpace(rc[0]))
+			if err != nil || order < 1 {
+				return nil, fmt.Errorf("workload: mix entry %q: bad rows", part)
+			}
+			cols, err = strconv.Atoi(strings.TrimSpace(rc[1]))
+			if err != nil || cols < 1 {
+				return nil, fmt.Errorf("workload: mix entry %q: bad cols", part)
+			}
+			if cols > order {
+				return nil, fmt.Errorf("workload: mix entry %q: wide shapes (cols > rows) are not servable", part)
+			}
+			if cols == order {
+				cols = 0 // normalize: an n x n entry is the square entry
+			}
+		} else {
+			order, err = strconv.Atoi(shape)
+			if err != nil || order < 1 {
+				return nil, fmt.Errorf("workload: mix entry %q: bad order", part)
+			}
 		}
 		w, err := strconv.ParseFloat(strings.TrimSpace(ow[1]), 64)
 		if err != nil || w <= 0 {
 			return nil, fmt.Errorf("workload: mix entry %q: bad weight", part)
 		}
-		out = append(out, MixEntry{Order: order, Weight: w})
+		out = append(out, MixEntry{Order: order, Cols: cols, Weight: w})
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("workload: empty mix %q", s)
@@ -116,10 +162,15 @@ func (m Mix) Stream(seed int64) *MixStream {
 	if len(m.Entries) == 0 {
 		m.Entries = DefaultMix().Entries
 	}
-	// Sort by order so the cumulative table (and hence the stream) does
+	// Sort by shape so the cumulative table (and hence the stream) does
 	// not depend on caller-side entry ordering of the same distribution.
 	entries := append([]MixEntry(nil), m.Entries...)
-	sort.Slice(entries, func(i, j int) bool { return entries[i].Order < entries[j].Order })
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Order != entries[j].Order {
+			return entries[i].Order < entries[j].Order
+		}
+		return entries[i].Cols < entries[j].Cols
+	})
 	m.Entries = entries
 	var total float64
 	for _, e := range m.Entries {
@@ -135,24 +186,27 @@ func (m Mix) Stream(seed int64) *MixStream {
 	// The hot-key set is drawn first so it is a pure function of
 	// (mix, seed) and does not shift as the stream advances.
 	for i := 0; i < m.HotKeys; i++ {
+		order, cols := st.drawShape()
 		st.hot = append(st.hot, RequestSpec{
-			Order: st.drawOrder(), Seed: st.rng.Int63(), Hot: true, Dup: true,
+			Order: order, Cols: cols, Seed: st.rng.Int63(), Hot: true, Dup: true,
 		})
 	}
 	return st
 }
 
-// drawOrder samples one matrix order from the weighted size distribution.
-func (st *MixStream) drawOrder() int {
+// drawShape samples one matrix shape from the weighted distribution;
+// cols is 0 for square entries.
+func (st *MixStream) drawShape() (order, cols int) {
 	u := st.rng.Float64()
-	order := st.mix.Entries[len(st.mix.Entries)-1].Order
+	last := st.mix.Entries[len(st.mix.Entries)-1]
+	order, cols = last.Order, last.Cols
 	for i, c := range st.cum {
 		if u <= c {
-			order = st.mix.Entries[i].Order
+			order, cols = st.mix.Entries[i].Order, st.mix.Entries[i].Cols
 			break
 		}
 	}
-	return order
+	return order, cols
 }
 
 // Next draws the next request of the stream.
@@ -165,7 +219,8 @@ func (st *MixStream) Next() RequestSpec {
 		spec.Dup = true
 		return spec
 	}
-	spec := RequestSpec{Order: st.drawOrder(), Seed: st.rng.Int63()}
+	order, cols := st.drawShape()
+	spec := RequestSpec{Order: order, Cols: cols, Seed: st.rng.Int63()}
 	st.recent = append(st.recent, spec)
 	if len(st.recent) > st.mix.History {
 		st.recent = st.recent[1:]

@@ -7,7 +7,7 @@ import (
 )
 
 func TestMixStreamDeterministic(t *testing.T) {
-	mix := Mix{Entries: []MixEntry{{32, 5}, {64, 3}, {128, 2}}, DupProb: 0.3}
+	mix := Mix{Entries: []MixEntry{{Order: 32, Weight: 5}, {Order: 64, Weight: 3}, {Order: 128, Weight: 2}}, DupProb: 0.3}
 	a := mix.Stream(42).Take(200)
 	b := mix.Stream(42).Take(200)
 	for i := range a {
@@ -30,8 +30,8 @@ func TestMixStreamDeterministic(t *testing.T) {
 func TestMixStreamEntryOrderIrrelevant(t *testing.T) {
 	// The same distribution written in a different entry order must give
 	// the same stream — reproducibility should not hinge on flag order.
-	m1 := Mix{Entries: []MixEntry{{32, 5}, {64, 3}}, DupProb: 0.2}
-	m2 := Mix{Entries: []MixEntry{{64, 3}, {32, 5}}, DupProb: 0.2}
+	m1 := Mix{Entries: []MixEntry{{Order: 32, Weight: 5}, {Order: 64, Weight: 3}}, DupProb: 0.2}
+	m2 := Mix{Entries: []MixEntry{{Order: 64, Weight: 3}, {Order: 32, Weight: 5}}, DupProb: 0.2}
 	a, b := m1.Stream(7).Take(100), m2.Stream(7).Take(100)
 	for i := range a {
 		if a[i] != b[i] {
@@ -41,7 +41,7 @@ func TestMixStreamEntryOrderIrrelevant(t *testing.T) {
 }
 
 func TestMixStreamRespectsOrdersAndDuplicates(t *testing.T) {
-	mix := Mix{Entries: []MixEntry{{16, 1}, {24, 1}}, DupProb: 0.5, History: 4}
+	mix := Mix{Entries: []MixEntry{{Order: 16, Weight: 1}, {Order: 24, Weight: 1}}, DupProb: 0.5, History: 4}
 	specs := mix.Stream(1).Take(400)
 	seen := map[RequestSpec]bool{}
 	dups := 0
@@ -69,7 +69,7 @@ func TestMixStreamRespectsOrdersAndDuplicates(t *testing.T) {
 }
 
 func TestMixZeroDupProbHasNoDuplicates(t *testing.T) {
-	mix := Mix{Entries: []MixEntry{{16, 1}}, DupProb: 0}
+	mix := Mix{Entries: []MixEntry{{Order: 16, Weight: 1}}, DupProb: 0}
 	for _, sp := range mix.Stream(9).Take(100) {
 		if sp.Dup {
 			t.Fatal("duplicate emitted with DupProb 0")
@@ -147,6 +147,99 @@ func TestMixHotKeysSkewStream(t *testing.T) {
 	}
 	if !diff {
 		t.Fatal("hot set identical across seeds")
+	}
+}
+
+func TestParseMixRectangular(t *testing.T) {
+	entries, err := ParseMix("32:5,512x8:2,64x64:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("parsed %+v", entries)
+	}
+	if entries[1].Order != 512 || entries[1].Cols != 8 {
+		t.Fatalf("tall entry %+v", entries[1])
+	}
+	// An n x n shape normalizes to the square entry (Cols 0) so it shares
+	// identity with the plain-order spelling.
+	if entries[2].Order != 64 || entries[2].Cols != 0 {
+		t.Fatalf("square-spelled-rect entry %+v", entries[2])
+	}
+	for _, bad := range []string{"8x512:1", "0x4:1", "32x0:1", "ax4:1", "4xb:1"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Fatalf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMixTallStreamDeterministic(t *testing.T) {
+	mix := Mix{
+		Entries: []MixEntry{{Order: 24, Weight: 1}, {Order: 256, Cols: 6, Weight: 1}},
+		DupProb: 0.3,
+	}
+	a := mix.Stream(11).Take(300)
+	b := mix.Stream(11).Take(300)
+	talls := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs under same seed: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].Tall() {
+			talls++
+			m := a[i].Build()
+			if m.Rows != 256 || m.Cols != 6 {
+				t.Fatalf("tall build %dx%d", m.Rows, m.Cols)
+			}
+			rhs := a[i].Rhs()
+			if rhs.Rows != 256 || rhs.Cols != 1 {
+				t.Fatalf("rhs %dx%d", rhs.Rows, rhs.Cols)
+			}
+			if !matrix.Equal(rhs, a[i].Rhs(), 0) {
+				t.Fatal("Rhs not deterministic")
+			}
+		}
+	}
+	if talls == 0 {
+		t.Fatal("no tall requests drawn from a 50% tall mix")
+	}
+}
+
+// TestMixHotKeysComposeWithTallShapes proves the hot-key skew machinery
+// and rectangular shapes compose: hot draws cover both square and tall
+// specs, and no tall spec can collide with a square one on the
+// (Order, Cols, Seed) identity even when rows and seed agree.
+func TestMixHotKeysComposeWithTallShapes(t *testing.T) {
+	m := Mix{
+		Entries: []MixEntry{{Order: 32, Weight: 1}, {Order: 32, Cols: 4, Weight: 1}},
+		HotKeys: 6,
+		HotProb: 0.5,
+	}
+	specs := m.Stream(3).Take(3000)
+	hotSquare, hotTall := 0, 0
+	for _, sp := range specs {
+		if !sp.Hot {
+			continue
+		}
+		if sp.Tall() {
+			hotTall++
+		} else {
+			hotSquare++
+		}
+	}
+	if hotSquare == 0 || hotTall == 0 {
+		t.Fatalf("hot draws did not cover both shapes: square %d tall %d", hotSquare, hotTall)
+	}
+	// Same rows, same seed, different shape: distinct identities, so the
+	// serving digests (which cover the shape header) can never collide.
+	sq := RequestSpec{Order: 32, Seed: 99}
+	tall := RequestSpec{Order: 32, Cols: 4, Seed: 99}
+	if sq == tall {
+		t.Fatal("square and tall specs share an identity")
+	}
+	a, b := sq.Build(), tall.Build()
+	if a.Rows == b.Rows && a.Cols == b.Cols {
+		t.Fatalf("shapes collide: %dx%d", a.Rows, a.Cols)
 	}
 }
 
