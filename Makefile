@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover cover-check bench bench-smoke chaos-smoke fleet-smoke lstsq-smoke experiments examples trace serve load fmt vet lint clean
+.PHONY: all build test race cover cover-check bench bench-smoke chaos-smoke fleet-smoke lstsq-smoke experiments examples trace serve load fmt vet lint mrlint clean
 
 all: build test
 
@@ -63,14 +63,23 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# Mirror of the CI lint gate: gofmt, vet, and staticcheck. staticcheck is
-# skipped gracefully when not installed locally; CI always runs it
-# (honnef.co/go/tools/cmd/staticcheck@latest).
+# Mirror of the CI lint gate: gofmt, vet, the repository's own invariant
+# checkers (cmd/mrlint, stdlib-only), and staticcheck. staticcheck is
+# skipped gracefully when not installed locally; CI always runs it,
+# pinned to the same version as the workflow
+# (honnef.co/go/tools/cmd/staticcheck@2024.1.1).
 lint:
 	test -z "$$(gofmt -l .)"
 	$(GO) vet ./...
+	$(GO) run repro/cmd/mrlint ./...
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
 	else echo "staticcheck not installed; skipping (CI runs it)"; fi
+
+# The invariant checkers alone (determinism, ctxflow, boundedalloc,
+# obsnames, lockscope — see internal/analysis). -vet chains the
+# relevant go vet passes behind the same exit code.
+mrlint:
+	$(GO) run repro/cmd/mrlint -vet ./...
 
 # Mirror of the CI coverage gate: total ./internal/... statement coverage
 # must not drop below ci/coverage_floor.txt.

@@ -1,0 +1,90 @@
+// mrlint is the repository's invariant multichecker: it runs the
+// internal/analysis suite (determinism, ctxflow, boundedalloc,
+// obsnames, lockscope) over the packages matching its arguments, and
+// optionally a selected set of standard vet passes alongside.
+//
+// Usage:
+//
+//	mrlint [-vet] [-list] [packages...]
+//
+// Exit status is 1 if any diagnostic is reported. Findings are
+// silenced in place with
+//
+//	//mrlint:allow <rule>[(<detail>)] -- <reason>
+//
+// on the offending line, the line above, or (package-wide) in the
+// package doc comment; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"os/exec"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	vet := flag.Bool("vet", false, "also run selected go vet passes (copylocks, lostcancel, atomic, printf)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: mrlint [-vet] [-list] [packages...]\n\nAnalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	fset := token.NewFileSet()
+	pkgs, err := analysis.LoadPatterns(fset, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mrlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, analysis.All())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mrlint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			failed = true
+			pos := fset.Position(d.Pos)
+			fmt.Printf("%s: %s: %s\n", pos, d.Rule, d.Message)
+		}
+	}
+
+	if *vet {
+		// The selected vet passes complement the custom analyzers:
+		// copylocks and atomic back up lockscope/determinism,
+		// lostcancel backs up ctxflow. Explicitly enabling passes
+		// makes go vet run only those.
+		args := append([]string{"vet", "-copylocks", "-lostcancel", "-atomic", "-printf"}, patterns...)
+		cmd := exec.Command("go", args...)
+		cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+		if err := cmd.Run(); err != nil {
+			failed = true
+		}
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,155 @@
+// Package analysis is the repository's static-analysis suite: a set of
+// invariant checkers encoding correctness properties that generic
+// linters cannot know about, plus the minimal driver machinery to run
+// them over type-checked packages.
+//
+// The analyzers encode invariants that have each produced (or nearly
+// produced) real bugs in this repository:
+//
+//   - determinism: §7.4 of the paper demands bit-identical replay under
+//     chaos, so replay-critical packages must not consult wall clocks,
+//     unseeded randomness, or map iteration order when producing output.
+//   - ctxflow: deadlines propagate serve → core → mapreduce; a library
+//     function that accepts a context must not sever that chain with
+//     context.Background(), and must not block without a cancellation
+//     path (the drain-context bug class).
+//   - boundedalloc: allocation sizes decoded from wire or file headers
+//     must be bounded before element storage is allocated (the hostile
+//     PiB-alloc class fixed in the serving layer).
+//   - obsnames: metric and span names are dashboard API; they must be
+//     compile-time constants in lowercase dotted form, never built with
+//     fmt.Sprintf at observation time.
+//   - lockscope: mutexes must not be held across channel operations or
+//     context-blocking calls (the dead-singleflight race class).
+//
+// The framework deliberately mirrors the shape of
+// golang.org/x/tools/go/analysis (Analyzer / Pass / Diagnostic) so the
+// analyzers could be ported to the upstream driver mechanically, but it
+// is implemented on the standard library alone: this module carries no
+// third-party dependencies, and the lint gate should not be the thing
+// that breaks that.
+//
+// False positives are silenced in place with an explanation:
+//
+//	//mrlint:allow <rule>[(<detail>)] -- <reason>
+//
+// on the offending line (or the line above), or package-wide when the
+// directive appears in the package clause's doc comment block. See
+// directive.go for the grammar.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the rule in diagnostics and in
+	// //mrlint:allow directives. Lowercase, no spaces.
+	Name string
+	// Doc is a one-paragraph description: the invariant, and the
+	// historical bug class it encodes.
+	Doc string
+	// Run applies the rule to a single package.
+	Run func(*Pass) error
+}
+
+// A Pass is one application of one analyzer to one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// A Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos token.Pos
+	// Rule is the analyzer name (or "directive" for malformed
+	// suppression comments reported by the driver itself).
+	Rule string
+	// Detail is an optional sub-rule tag (e.g. "time.Now" within
+	// determinism) that directives can match on.
+	Detail  string
+	Message string
+}
+
+// Report records a diagnostic. The driver fills in Rule.
+func (p *Pass) Report(d Diagnostic) {
+	d.Rule = p.Analyzer.Name
+	p.diags = append(p.diags, d)
+}
+
+// Reportf records a diagnostic at pos with a formatted message and an
+// optional detail tag for directive matching.
+func (p *Pass) Reportf(pos token.Pos, detail, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Detail: detail, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Run applies each analyzer to pkg, filters the results through the
+// package's //mrlint:allow directives, and returns the surviving
+// diagnostics (plus one "directive" diagnostic per malformed
+// suppression comment) sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	dirs, derrs := parseDirectives(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	out = append(out, derrs...)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+		for _, d := range pass.diags {
+			if !dirs.allows(pkg.Fset, d) {
+				out = append(out, d)
+			}
+		}
+	}
+	sortDiagnostics(pkg.Fset, out)
+	return out, nil
+}
+
+func sortDiagnostics(fset *token.FileSet, ds []Diagnostic) {
+	// Insertion sort by (file, line, column, rule): diagnostic counts
+	// are tiny and this avoids pulling in sort for a stable order.
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && diagLess(fset, ds[j], ds[j-1]); j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}
+
+func diagLess(fset *token.FileSet, a, b Diagnostic) bool {
+	pa, pb := fset.Position(a.Pos), fset.Position(b.Pos)
+	if pa.Filename != pb.Filename {
+		return pa.Filename < pb.Filename
+	}
+	if pa.Line != pb.Line {
+		return pa.Line < pb.Line
+	}
+	if pa.Column != pb.Column {
+		return pa.Column < pb.Column
+	}
+	return a.Rule < b.Rule
+}

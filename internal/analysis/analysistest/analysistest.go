@@ -1,0 +1,167 @@
+// Package analysistest runs an analyzer over fixture packages under
+// testdata/src and compares its diagnostics against `// want`
+// expectations, mirroring the conventions of
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// alone.
+//
+// A fixture package lives at <testdata>/src/<importpath>; the import
+// path is chosen by the test and is significant — analyzers that scope
+// themselves to repository packages (e.g. determinism only fires in
+// internal/mapreduce and friends) are exercised by giving fixtures
+// paths inside and outside that scope.
+//
+// Expectations are comments on the offending line:
+//
+//	bad := time.Now() // want "wall-clock"
+//	a, b := f()       // want "first" "second"
+//
+// Each quoted string is a regexp that must match one diagnostic
+// reported on that line; diagnostics with no matching want, and wants
+// with no matching diagnostic, fail the test. //mrlint:allow
+// directives are honored exactly as in the real driver, so fixtures
+// also lock in the suppression path.
+package analysistest
+
+import (
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestData returns the testdata directory of the caller's package.
+func TestData() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		panic(err)
+	}
+	return filepath.Join(wd, "testdata")
+}
+
+// fixtureImporter resolves imports from <testdata>/src first — so
+// fixtures can stand in small fake packages (an "obs", a "matrix") for
+// repository ones — and falls back to the shared source importer for
+// everything else (the standard library).
+type fixtureImporter struct {
+	fset     *token.FileSet
+	testdata string
+	delegate types.Importer
+	cache    map[string]*types.Package
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := fi.cache[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(fi.testdata, "src", filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		pkg, err := analysis.LoadDir(fi.fset, fi, dir, path)
+		if err != nil {
+			return nil, err
+		}
+		fi.cache[path] = pkg.Types
+		return pkg.Types, nil
+	}
+	return fi.delegate.Import(path)
+}
+
+// Run loads each fixture package and checks a's diagnostics against
+// the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, importPaths ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := &fixtureImporter{
+		fset:     fset,
+		testdata: testdata,
+		delegate: analysis.NewImporter(fset),
+		cache:    map[string]*types.Package{},
+	}
+	for _, path := range importPaths {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(path))
+		pkg, err := analysis.LoadDir(fset, imp, dir, path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		checkWants(t, fset, dir, path, diags)
+	}
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want((?:\s+"(?:[^"\\]|\\.)*")+)`)
+var wantArgRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// checkWants compares diagnostics against the want comments found in
+// every fixture file.
+func checkWants(t *testing.T, fset *token.FileSet, dir, path string, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		file := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, arg := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+				pattern := strings.ReplaceAll(arg[1], `\"`, `"`)
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", file, i+1, pattern, err)
+				}
+				wants = append(wants, &want{file: file, line: i + 1, re: re, raw: pattern})
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.matched || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) || w.re.MatchString(d.Rule+": "+d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic in %s:\n  %s:%d: %s: %s",
+				path, pos.Filename, filepath.Base(pos.Filename), pos.Line, d.Rule, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: no diagnostic matched want %q at %s:%d",
+				path, w.raw, filepath.Base(w.file), w.line)
+		}
+	}
+}

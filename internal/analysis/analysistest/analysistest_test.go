@@ -1,0 +1,15 @@
+package analysistest
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestHarness runs the harness end to end over its own fixture: the
+// want comment must match, the //mrlint:allow suppression must be
+// honored, and the fixture's `fake` import must resolve from
+// testdata/src through the fixture importer.
+func TestHarness(t *testing.T) {
+	Run(t, TestData(), analysis.Determinism, "determinism/internal/core/x")
+}

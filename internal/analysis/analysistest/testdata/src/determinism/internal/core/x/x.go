@@ -1,0 +1,21 @@
+// Package x is the harness's own smoke fixture: one positive, one
+// suppressed positive, one negative, and an import that must resolve
+// through the testdata fixture importer.
+package x
+
+import (
+	"time"
+
+	"fake"
+)
+
+func clock() int64 {
+	return time.Now().Unix() // want "wall-clock values must not influence replayed output"
+}
+
+func allowed() int64 {
+	//mrlint:allow determinism(time.Now) -- harness fixture: suppression must be honored
+	return time.Now().Unix()
+}
+
+func ok() int { return fake.Value() }

@@ -1,0 +1,6 @@
+// Package fake exists to exercise the harness's fixture importer: the
+// sibling fixture imports it by bare path, which must resolve from
+// testdata/src rather than the real module.
+package fake
+
+func Value() int { return 42 }

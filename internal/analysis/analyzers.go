@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// All returns every analyzer in the suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		CtxFlow,
+		BoundedAlloc,
+		ObsNames,
+		LockScope,
+	}
+}
+
+// replayCriticalPkgs are the packages whose behavior must replay
+// bit-identically under the §7.4 chaos harness: a faulty run and a
+// clean run must produce the same bytes, so nothing on these paths may
+// depend on wall clocks, unseeded randomness, or map iteration order.
+var replayCriticalPkgs = []string{
+	"internal/chaos",
+	"internal/mapreduce",
+	"internal/dfs",
+	"internal/tsqr",
+	"internal/core",
+}
+
+// lockSensitivePkgs are the concurrent serving-path packages where
+// holding a mutex across a blocking operation has already caused real
+// bugs (the dead-singleflight race).
+var lockSensitivePkgs = []string{
+	"internal/serve",
+	"internal/fed",
+	"internal/mapreduce",
+}
+
+// pkgInScope reports whether path belongs to one of the scope entries,
+// matching on whole path-segment boundaries so "internal/core" matches
+// "repro/internal/core" and "x/internal/core/sub" but not
+// "internal/coretools". Fixture packages under the analysistest tree
+// pick scoped or unscoped paths to exercise both sides.
+func pkgInScope(path string, scope []string) bool {
+	for _, s := range scope {
+		if segmentMatch(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func segmentMatch(path, want string) bool {
+	idx := 0
+	for {
+		i := strings.Index(path[idx:], want)
+		if i < 0 {
+			return false
+		}
+		start := idx + i
+		end := start + len(want)
+		startOK := start == 0 || path[start-1] == '/'
+		endOK := end == len(path) || path[end] == '/'
+		if startOK && endOK {
+			return true
+		}
+		idx = start + 1
+	}
+}
+
+// funcObj resolves the called function object for a call expression,
+// unwrapping parenthesization. Returns nil for calls through function
+// values, type conversions, and builtins.
+func funcObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isPkgFunc reports whether call is a direct call to pkgBase.name,
+// where pkgBase is the callee package's base name (e.g. "rand",
+// "time", "context"). Matching on the base name rather than the full
+// import path lets analysistest fixtures stand in fake packages for
+// repo-internal ones.
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgBase, name string) bool {
+	f := funcObj(info, call)
+	if f == nil || f.Name() != name {
+		return false
+	}
+	pkg := f.Pkg()
+	return pkg != nil && pathBase(pkg.Path()) == pkgBase && f.Type().(*types.Signature).Recv() == nil
+}
+
+func pathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// hasCtxParam reports whether sig takes a context.Context anywhere in
+// its (non-receiver) parameter list.
+func hasCtxParam(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

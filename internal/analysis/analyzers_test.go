@@ -1,0 +1,48 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// Each analyzer is run over fixture packages whose import paths place
+// them inside and outside the analyzer's scope; the fixtures carry
+// `// want` expectations, so a disabled or weakened rule fails these
+// tests on unmatched wants.
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Determinism,
+		"determinism/internal/mapreduce/a",
+		"determinism/other/a",
+		"determinism/internal/core/allowpkg",
+	)
+}
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.CtxFlow,
+		"ctxflow/internal/core/a",
+		"ctxflow/other/a",
+	)
+}
+
+func TestBoundedAlloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.BoundedAlloc,
+		"boundedalloc/a",
+	)
+}
+
+func TestObsNames(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.ObsNames,
+		"obsnames/a",
+		"obsnames/obs",
+	)
+}
+
+func TestLockScope(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.LockScope,
+		"lockscope/internal/serve/a",
+		"lockscope/other/a",
+	)
+}

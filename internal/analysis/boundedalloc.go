@@ -1,0 +1,286 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// BoundedAlloc encodes the hostile-allocation invariant from the PR-2
+// review: a size decoded from a wire or file header is attacker- (or
+// corruption-) controlled and must be bounded before element storage
+// is allocated. The serving layer once turned a hostile 12-byte
+// request into a PiB allocation because ReadBinary trusted its header;
+// matrix.ReadBinaryLimit exists precisely to close that hole.
+//
+// The analysis is a per-function forward taint pass:
+//
+//   - sources: binary.LittleEndian/BigEndian.UintXX(...) results, and
+//     variables whose address is taken in a function that calls
+//     binary.Read (covering the `for _, p := range []*uint32{&a, &b}`
+//     header-decode idiom);
+//   - propagation: assignments whose right-hand side mentions a
+//     tainted variable (conversions, arithmetic);
+//   - sanitizers: an if-condition comparing the tainted variable
+//     before the allocation, or deriving the value through a call
+//     whose name contains Limit/Bound/Cap/Min/Max;
+//   - sinks: make() with a tainted length/capacity, and matrix.New
+//     with tainted dimensions.
+//
+// Anything flagged either needs a bound check between decode and
+// allocation, or a //mrlint:allow boundedalloc -- <why the value is
+// trusted> directive.
+var BoundedAlloc = &Analyzer{
+	Name: "boundedalloc",
+	Doc: "require header-decoded sizes to be bounds-checked before they size an " +
+		"allocation (the hostile PiB-alloc class)",
+	Run: runBoundedAlloc,
+}
+
+func runBoundedAlloc(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			boundedAllocFunc(pass, fn.Body)
+			return true
+		})
+	}
+	return nil
+}
+
+type taintState struct {
+	pass *Pass
+	// tainted maps a variable to the position where it became
+	// tainted; sanitizedAt records the end of the earliest bound
+	// check mentioning it.
+	tainted     map[types.Object]token.Pos
+	sanitizedAt map[types.Object]token.Pos
+}
+
+func boundedAllocFunc(pass *Pass, body *ast.BlockStmt) {
+	st := &taintState{
+		pass:        pass,
+		tainted:     map[types.Object]token.Pos{},
+		sanitizedAt: map[types.Object]token.Pos{},
+	}
+	callsBinaryRead := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if ok && isPkgFunc(pass.TypesInfo, call, "binary", "Read") {
+			callsBinaryRead = true
+		}
+		return !callsBinaryRead
+	})
+
+	// Pass 1: collect sources and sanitizers (position-aware).
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if callsBinaryRead && n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					st.markTainted(id, n.Pos())
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0]
+				}
+				if rhs == nil {
+					continue
+				}
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && st.exprTainted(rhs) {
+					st.markTainted(id, n.Pos())
+				}
+			}
+		case *ast.IfStmt:
+			st.recordComparisons(n.Cond)
+		case *ast.SwitchStmt:
+			if n.Tag != nil {
+				st.recordComparisons(n.Tag)
+			}
+		case *ast.CaseClause:
+			// Tagless switch: the case expressions are the comparisons.
+			for _, e := range n.List {
+				st.recordComparisons(e)
+			}
+		}
+		return true
+	})
+
+	// Pass 2: flag sinks whose size is tainted and not yet sanitized.
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var sizeArgs []ast.Expr
+		if fid, isIdent := ast.Unparen(call.Fun).(*ast.Ident); isIdent && fid.Name == "make" && len(call.Args) >= 2 {
+			if _, isBuiltin := pass.TypesInfo.Uses[fid].(*types.Builtin); isBuiltin {
+				sizeArgs = call.Args[1:]
+			}
+		} else if f := funcObj(pass.TypesInfo, call); f != nil && f.Pkg() != nil &&
+			pathBase(f.Pkg().Path()) == "matrix" && f.Name() == "New" {
+			sizeArgs = call.Args
+		}
+		for _, arg := range sizeArgs {
+			if obj, pos := st.taintedIn(arg, call.Pos()); obj != nil {
+				pass.Reportf(call.Pos(), "wire-size",
+					"allocation sized by %q, which was decoded from wire/header bytes at %s without a bound check: cap it (compare against a limit, or read through matrix.ReadBinaryLimit)",
+					obj.Name(), pass.Fset.Position(pos))
+			}
+		}
+		return true
+	})
+}
+
+func (st *taintState) markTainted(id *ast.Ident, pos token.Pos) {
+	obj := st.pass.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return
+	}
+	if basic, ok := obj.Type().Underlying().(*types.Basic); !ok || basic.Info()&types.IsInteger == 0 {
+		return
+	}
+	if _, already := st.tainted[obj]; !already {
+		st.tainted[obj] = pos
+	}
+}
+
+// exprTainted reports whether e mentions a tainted variable or is a
+// direct wire-decode call. Derivations through bounding helpers
+// (min/max, names containing Limit/Bound/Cap) are treated as clean.
+func (st *taintState) exprTainted(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isByteOrderDecode(st.pass.TypesInfo, n) {
+				found = true
+				return false
+			}
+			if isBoundingCall(st.pass.TypesInfo, n) {
+				return false // pruned: the helper bounds its result
+			}
+		case *ast.Ident:
+			if obj := st.pass.TypesInfo.ObjectOf(n); obj != nil {
+				if _, ok := st.tainted[obj]; ok {
+					found = true
+					return false
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// recordComparisons marks every tainted variable appearing under a
+// comparison operator in cond as sanitized from cond's end onward.
+func (st *taintState) recordComparisons(cond ast.Expr) {
+	ast.Inspect(cond, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch bin.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		default:
+			return true
+		}
+		for _, side := range []ast.Expr{bin.X, bin.Y} {
+			ast.Inspect(side, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := st.pass.TypesInfo.ObjectOf(id); obj != nil {
+						if _, isTainted := st.tainted[obj]; isTainted {
+							if cur, ok := st.sanitizedAt[obj]; !ok || cond.End() < cur {
+								st.sanitizedAt[obj] = cond.End()
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+}
+
+// taintedIn returns a variable mentioned in e that is tainted and not
+// sanitized before sinkPos, with the position where it was tainted.
+// Subtrees under bounding helpers are skipped: make([]byte, clamp(n))
+// is n's bound check, applied at the sink itself.
+func (st *taintState) taintedIn(e ast.Expr, sinkPos token.Pos) (types.Object, token.Pos) {
+	var obj types.Object
+	var pos token.Pos
+	ast.Inspect(e, func(n ast.Node) bool {
+		if obj != nil {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isBoundingCall(st.pass.TypesInfo, call) {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		o := st.pass.TypesInfo.ObjectOf(id)
+		if o == nil {
+			return true
+		}
+		tp, isTainted := st.tainted[o]
+		if !isTainted {
+			return true
+		}
+		if sp, sanitized := st.sanitizedAt[o]; sanitized && sp <= sinkPos {
+			return true
+		}
+		obj, pos = o, tp
+		return false
+	})
+	return obj, pos
+}
+
+func isByteOrderDecode(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Uint16", "Uint32", "Uint64":
+	default:
+		return false
+	}
+	f, _ := info.Uses[sel.Sel].(*types.Func)
+	return f != nil && f.Pkg() != nil && pathBase(f.Pkg().Path()) == "binary"
+}
+
+func isBoundingCall(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name == "min" || fun.Name == "max" {
+			return true
+		}
+	}
+	f := funcObj(info, call)
+	if f == nil {
+		return false
+	}
+	name := f.Name()
+	for _, marker := range []string{"Limit", "Bound", "Cap", "Clamp"} {
+		if strings.Contains(name, marker) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow encodes the deadline-propagation invariant: a request's
+// deadline travels serve → core → mapreduce as a context.Context, and
+// the serving layer's drain logic depends on every blocking step
+// honoring cancellation (the drain-context and dead-singleflight bugs
+// were both breaks in this chain). Two sub-rules:
+//
+//   - background: a function that accepts a context but hands a callee
+//     context.Background()/context.TODO() severs the chain — the
+//     callee outlives the request's deadline. The fix is almost always
+//     to pass the ctx already in scope (possibly via context.WithX).
+//   - blocking-send: a bare channel send (`ch <- v` outside any
+//     select) in a context-taking function has no cancellation path.
+//     Sends on channels made in the same function with a buffer are
+//     exempt: sizing a local channel so sends cannot block is the
+//     repo's standard fan-out idiom, and the capacity argument is
+//     visible right there.
+//
+// Scope: the replay-critical pipeline packages plus serve and fed,
+// where every entry point is deadline-bearing.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "keep deadline propagation intact: no context.Background() handed to callees " +
+		"by ctx-taking functions, no cancellation-free blocking sends",
+	Run: runCtxFlow,
+}
+
+var ctxFlowPkgs = append([]string{"internal/serve", "internal/fed"}, replayCriticalPkgs...)
+
+func runCtxFlow(pass *Pass) error {
+	if !pkgInScope(pass.Pkg.Path(), ctxFlowPkgs) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			def, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if !ok || !hasCtxParam(def.Type().(*types.Signature)) {
+				return true
+			}
+			ctxFlowFunc(pass, fn.Body)
+			return true
+		})
+	}
+	return nil
+}
+
+func ctxFlowFunc(pass *Pass, body *ast.BlockStmt) {
+	buffered := bufferedLocalChans(pass.TypesInfo, body)
+	// Walk with an explicit stack so sends can be tested for an
+	// enclosing select.
+	var stack []ast.Node
+	visit := func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkBackgroundArg(pass, n)
+		case *ast.SendStmt:
+			if !nodeInSelect(stack) && !chanIsLocalBuffered(pass.TypesInfo, buffered, n.Chan) {
+				pass.Reportf(n.Pos(), "blocking-send",
+					"blocking channel send in a context-taking function with no cancellation path: wrap in a select with <-ctx.Done() (or size a local buffer so the send cannot block)")
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, visit)
+}
+
+// checkBackgroundArg flags context.Background()/TODO() passed as a
+// call argument (the enclosing function is known to take a ctx).
+func checkBackgroundArg(pass *Pass, call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		inner, ok := ast.Unparen(arg).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		name := ""
+		switch {
+		case isPkgFunc(pass.TypesInfo, inner, "context", "Background"):
+			name = "context.Background()"
+		case isPkgFunc(pass.TypesInfo, inner, "context", "TODO"):
+			name = "context.TODO()"
+		default:
+			continue
+		}
+		pass.Reportf(arg.Pos(), "background",
+			"%s passed to a callee from a function that already has a context: this severs deadline propagation — pass the ctx in scope", name)
+	}
+}
+
+// bufferedLocalChans collects objects assigned `make(chan T, n)` in
+// body.
+func bufferedLocalChans(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return
+		}
+		if fid, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || fid.Name != "make" {
+			return
+		}
+		if t := info.Types[call.Args[0]].Type; t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				if obj := info.ObjectOf(id); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					record(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func chanIsLocalBuffered(info *types.Info, buffered map[types.Object]bool, ch ast.Expr) bool {
+	id, ok := ast.Unparen(ch).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return buffered[info.ObjectOf(id)]
+}
+
+// nodeInSelect reports whether the innermost statement context of the
+// node stack is a select communication clause.
+func nodeInSelect(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.CommClause:
+			return true
+		case *ast.FuncLit:
+			return false // a closure resets the select context
+		}
+	}
+	return false
+}

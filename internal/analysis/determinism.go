@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Determinism encodes the §7.4 replay invariant: a run with failures
+// injected and a clean run must produce bit-identical output, so the
+// replay-critical packages (chaos, mapreduce, dfs, tsqr, core) must
+// not let wall clocks, ambient randomness, or map iteration order leak
+// into anything they compute. Four sub-rules, each with its own detail
+// tag for //mrlint:allow:
+//
+//   - time.Now: any call. Wall-clock reads that feed only
+//     observability are the expected allowlist case; the directive
+//     forces that claim to be written down next to the read.
+//   - math/rand: package-level functions that draw from the global,
+//     ambiently-seeded source (rand.Intn, rand.Float64, rand.Shuffle,
+//     ...). Explicitly seeded generators (rand.New(rand.NewSource(s)))
+//     are fine and are how every seeded component here already works.
+//   - maprange: a `range` over a map whose body appends to an outer
+//     slice or sends on a channel bakes the nondeterministic iteration
+//     order into a sequence. The loop is accepted when the enclosing
+//     function sorts afterwards (the repo's established
+//     collect-then-sort idiom).
+//   - racy-counter: ++/+=/-= on a variable captured by reference
+//     inside a `go` closure with no mutex in sight. Racy counters are
+//     UB first and replay-divergence second.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall clocks, unseeded randomness, map-order-dependent output, " +
+		"and racy counters in replay-critical packages (§7.4 bit-identical recovery)",
+	Run: runDeterminism,
+}
+
+// seededRandFuncs are the math/rand package-level functions that do
+// not draw from the global source.
+var seededRandFuncs = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func runDeterminism(pass *Pass) error {
+	if !pkgInScope(pass.Pkg.Path(), replayCriticalPkgs) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			determinismFunc(pass, fn.Body)
+			return true
+		})
+	}
+	return nil
+}
+
+func determinismFunc(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkClockAndRand(pass, n)
+		case *ast.RangeStmt:
+			checkMapRange(pass, body, n)
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				checkRacyCounters(pass, lit)
+			}
+		}
+		return true
+	})
+}
+
+func checkClockAndRand(pass *Pass, call *ast.CallExpr) {
+	if isPkgFunc(pass.TypesInfo, call, "time", "Now") {
+		pass.Reportf(call.Pos(), "time.Now",
+			"time.Now in a replay-critical package: wall-clock values must not influence replayed output (allow with //mrlint:allow determinism(time.Now) -- <why>)")
+		return
+	}
+	f := funcObj(pass.TypesInfo, call)
+	if f == nil || f.Pkg() == nil {
+		return
+	}
+	if pathBase(f.Pkg().Path()) == "rand" &&
+		f.Type().(*types.Signature).Recv() == nil && !seededRandFuncs[f.Name()] {
+		pass.Reportf(call.Pos(), "math/rand",
+			"rand.%s draws from the ambient global source; use an explicitly seeded rand.New(rand.NewSource(seed)) so runs replay", f.Name())
+	}
+}
+
+// checkMapRange flags map-range loops whose body accumulates into a
+// sequence, unless the enclosing function sorts after the loop.
+func checkMapRange(pass *Pass, enclosing *ast.BlockStmt, loop *ast.RangeStmt) {
+	t := pass.TypesInfo.Types[loop.X].Type
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ordered := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			ordered = true
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" && len(n.Args) > 0 {
+				if dst, ok := ast.Unparen(n.Args[0]).(*ast.Ident); ok {
+					if obj := pass.TypesInfo.ObjectOf(dst); obj != nil &&
+						(obj.Pos() < loop.Body.Pos() || obj.Pos() > loop.Body.End()) {
+						ordered = true
+					}
+				}
+			}
+		}
+		return !ordered
+	})
+	if !ordered {
+		return
+	}
+	if sortsAfter(pass.TypesInfo, enclosing, loop.End()) {
+		return
+	}
+	pass.Reportf(loop.Pos(), "maprange",
+		"range over a map accumulates into a sequence without a later sort: map iteration order is nondeterministic and breaks bit-identical replay")
+}
+
+// sortsAfter reports whether a sort./slices. call appears in body at a
+// position after pos.
+func sortsAfter(info *types.Info, body *ast.BlockStmt, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		if f := funcObj(info, call); f != nil && f.Pkg() != nil {
+			switch f.Pkg().Path() {
+			case "sort", "slices":
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkRacyCounters flags ++/+=/-= on captured variables inside a `go`
+// closure. A closure that takes any mutex is skipped wholesale: the
+// linear analysis cannot pair locks with updates, and the author has
+// at least thought about synchronization.
+func checkRacyCounters(pass *Pass, lit *ast.FuncLit) {
+	locks := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+				(sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock") {
+				locks = true
+			}
+		}
+		return !locks
+	})
+	if locks {
+		return
+	}
+	report := func(id *ast.Ident, op string) {
+		obj := pass.TypesInfo.ObjectOf(id)
+		if obj == nil || obj.Pos() == token.NoPos {
+			return
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+			return // declared inside the closure: goroutine-local
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return
+		}
+		basic, ok := obj.Type().Underlying().(*types.Basic)
+		if !ok || basic.Info()&types.IsNumeric == 0 {
+			return
+		}
+		pass.Reportf(id.Pos(), "racy-counter",
+			"%s %s on a variable captured by a go closure without synchronization: data race, and replay-divergent even when it \"works\"", op, id.Name)
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != lit {
+			return true // nested closures are visited via their own go stmt, if any
+		}
+		switch n := n.(type) {
+		case *ast.IncDecStmt:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+				report(id, n.Tok.String())
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN {
+				if id, ok := ast.Unparen(n.Lhs[0]).(*ast.Ident); ok {
+					report(id, n.Tok.String())
+				}
+			}
+		}
+		return true
+	})
+}

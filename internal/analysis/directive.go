@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// Suppression directives.
+//
+// Grammar (one directive per comment line, no space after //):
+//
+//	//mrlint:allow <rule>[(<detail>)][,<rule>[(<detail>)]...] -- <reason>
+//
+// The reason is mandatory: an allowlist entry without a recorded
+// justification is itself a violation. Placement decides scope:
+//
+//   - In the package clause's doc comment block: suppresses the rule
+//     for the entire package (every file of this build). This is the
+//     "per-package allowlist" form — e.g. a package whose wall-clock
+//     reads all feed observability can allow determinism(time.Now)
+//     once, in one place a reviewer will see.
+//   - Anywhere else: suppresses diagnostics on the directive's own
+//     line and on the next line, so the comment can sit at the end of
+//     the offending line or on its own line directly above it.
+//
+// An empty <detail> matches every detail of the rule; a non-empty one
+// must equal the diagnostic's detail tag exactly.
+
+const directivePrefix = "//mrlint:"
+
+type allowKey struct {
+	rule   string
+	detail string
+}
+
+type directiveSet struct {
+	// pkg holds package-scoped allows.
+	pkg map[allowKey]bool
+	// line holds line-scoped allows: file -> line -> keys. The entry
+	// is recorded for the directive's line and the following line.
+	line map[string]map[int][]allowKey
+}
+
+// allows reports whether d is suppressed by a directive.
+func (s *directiveSet) allows(fset *token.FileSet, d Diagnostic) bool {
+	if d.Rule == "directive" {
+		return false // malformed directives cannot self-suppress
+	}
+	keys := []allowKey{{d.Rule, ""}, {d.Rule, d.Detail}}
+	for _, k := range keys {
+		if s.pkg[k] {
+			return true
+		}
+	}
+	pos := fset.Position(d.Pos)
+	for _, k := range s.line[pos.Filename][pos.Line] {
+		if k.rule == d.Rule && (k.detail == "" || k.detail == d.Detail) {
+			return true
+		}
+	}
+	return false
+}
+
+// parseDirectives scans every comment in files for //mrlint: lines.
+// Malformed directives are returned as rule "directive" diagnostics so
+// a typo'd suppression fails the lint run instead of silently allowing
+// nothing (or worse, appearing to allow something).
+func parseDirectives(fset *token.FileSet, files []*ast.File) (*directiveSet, []Diagnostic) {
+	s := &directiveSet{
+		pkg:  map[allowKey]bool{},
+		line: map[string]map[int][]allowKey{},
+	}
+	var errs []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			pkgScope := f.Doc == cg
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				keys, msg := parseAllow(strings.TrimPrefix(c.Text, "//"))
+				if msg != "" {
+					errs = append(errs, Diagnostic{
+						Pos: c.Pos(), Rule: "directive", Message: msg,
+					})
+					continue
+				}
+				if pkgScope {
+					for _, k := range keys {
+						s.pkg[k] = true
+					}
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := s.line[pos.Filename]
+				if m == nil {
+					m = map[int][]allowKey{}
+					s.line[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], keys...)
+				m[pos.Line+1] = append(m[pos.Line+1], keys...)
+			}
+		}
+	}
+	return s, errs
+}
+
+// parseAllow parses "mrlint:allow rule(detail),rule2 -- reason". It
+// returns the allow keys, or a non-empty error message.
+func parseAllow(text string) ([]allowKey, string) {
+	rest, ok := strings.CutPrefix(text, "mrlint:allow")
+	if !ok {
+		return nil, "malformed mrlint directive: only //mrlint:allow is recognized"
+	}
+	if rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+		return nil, "malformed mrlint:allow directive: need a space before the rule list"
+	}
+	spec, reason, found := strings.Cut(rest, "--")
+	if !found || strings.TrimSpace(reason) == "" {
+		return nil, "mrlint:allow directive needs a justification: `//mrlint:allow <rule> -- <reason>`"
+	}
+	var keys []allowKey
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			return nil, "mrlint:allow directive has an empty rule entry"
+		}
+		rule, detail := item, ""
+		if open := strings.IndexByte(item, '('); open >= 0 {
+			if !strings.HasSuffix(item, ")") {
+				return nil, "mrlint:allow directive has an unclosed detail parenthesis"
+			}
+			rule, detail = item[:open], item[open+1:len(item)-1]
+		}
+		if !validRuleName(rule) {
+			return nil, "mrlint:allow directive names invalid rule " + strconv.Quote(rule)
+		}
+		keys = append(keys, allowKey{rule: rule, detail: detail})
+	}
+	return keys, ""
+}
+
+func validRuleName(rule string) bool {
+	if rule == "" {
+		return false
+	}
+	for _, a := range All() {
+		if a.Name == rule {
+			return true
+		}
+	}
+	return false
+}

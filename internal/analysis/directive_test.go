@@ -1,0 +1,93 @@
+package analysis
+
+import "testing"
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		name    string
+		text    string
+		keys    []allowKey
+		wantErr bool
+	}{
+		{
+			name: "single rule",
+			text: "mrlint:allow determinism -- measured only",
+			keys: []allowKey{{"determinism", ""}},
+		},
+		{
+			name: "rule with detail",
+			text: "mrlint:allow determinism(time.Now) -- measured only",
+			keys: []allowKey{{"determinism", "time.Now"}},
+		},
+		{
+			name: "multiple rules",
+			text: "mrlint:allow obsnames(dynamic),lockscope(send) -- bounded family; sized channel",
+			keys: []allowKey{{"obsnames", "dynamic"}, {"lockscope", "send"}},
+		},
+		{
+			name:    "missing reason",
+			text:    "mrlint:allow determinism",
+			wantErr: true,
+		},
+		{
+			name:    "empty reason",
+			text:    "mrlint:allow determinism -- ",
+			wantErr: true,
+		},
+		{
+			name:    "unknown rule",
+			text:    "mrlint:allow nosuchrule -- why not",
+			wantErr: true,
+		},
+		{
+			name:    "unknown verb",
+			text:    "mrlint:deny determinism -- nope",
+			wantErr: true,
+		},
+		{
+			name:    "unclosed detail",
+			text:    "mrlint:allow determinism(time.Now -- oops",
+			wantErr: true,
+		},
+		{
+			name:    "empty rule entry",
+			text:    "mrlint:allow determinism,, -- oops",
+			wantErr: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			keys, msg := parseAllow(tc.text)
+			if tc.wantErr {
+				if msg == "" {
+					t.Fatalf("parseAllow(%q): expected an error, got keys %v", tc.text, keys)
+				}
+				return
+			}
+			if msg != "" {
+				t.Fatalf("parseAllow(%q): unexpected error %q", tc.text, msg)
+			}
+			if len(keys) != len(tc.keys) {
+				t.Fatalf("parseAllow(%q): got %v, want %v", tc.text, keys, tc.keys)
+			}
+			for i := range keys {
+				if keys[i] != tc.keys[i] {
+					t.Errorf("parseAllow(%q)[%d]: got %+v, want %+v", tc.text, i, keys[i], tc.keys[i])
+				}
+			}
+		})
+	}
+}
+
+func TestDirectiveCannotSelfSuppress(t *testing.T) {
+	s := &directiveSet{pkg: map[allowKey]bool{}, line: map[string]map[int][]allowKey{}}
+	// Even a hypothetical blanket package allow must not hide malformed
+	// directive reports.
+	for _, a := range All() {
+		s.pkg[allowKey{a.Name, ""}] = true
+	}
+	d := Diagnostic{Rule: "directive", Message: "malformed"}
+	if s.allows(nil, d) {
+		t.Fatal("a directive diagnostic was suppressed by an allowlist entry")
+	}
+}

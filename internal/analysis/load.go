@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package loading. Two entry points:
+//
+//   - LoadPatterns resolves `go list`-style patterns ("./...") against
+//     the current module and type-checks each listed package. Module
+//     dependencies are resolved from source through the go/build
+//     machinery, so the loader works offline and needs nothing beyond
+//     the go toolchain itself.
+//   - LoadDir type-checks one directory of Go files as a package with
+//     an explicit import path — the analysistest harness uses it to
+//     give fixture packages paths that exercise the analyzers'
+//     package-scoping rules.
+
+// NewImporter builds the dependency importer: every import —
+// standard library and in-module "repro/..." packages alike — is
+// type-checked from source through one shared instance, so all
+// packages analyzed against the same FileSet live in a single
+// consistent type universe (mixing a compiled-export-data importer
+// with a source importer yields two distinct context.Context types
+// and spurious mismatch errors). Source importing needs nothing
+// beyond $GOROOT and the module tree, so the loader works offline.
+func NewImporter(fset *token.FileSet) types.Importer {
+	return importer.ForCompiler(fset, "source", nil)
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+func checkFiles(fset *token.FileSet, imp types.Importer, path string, files []*ast.File) (*Package, error) {
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// LoadDir parses and type-checks the non-test Go files in dir as a
+// single package imported as path. imp may be nil, in which case a
+// fresh fallback importer is used.
+func LoadDir(fset *token.FileSet, imp types.Importer, dir, path string) (*Package, error) {
+	if imp == nil {
+		imp = NewImporter(fset)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || filepath.Ext(name) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	return checkFiles(fset, imp, path, files)
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+}
+
+// LoadPatterns lists the packages matching patterns with the go tool
+// and type-checks each one (non-test files only; test files are vetted
+// by the regular `go vet` gate). One shared importer serves every
+// package, so common dependencies are checked once per run.
+func LoadPatterns(fset *token.FileSet, patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var listed []listedPackage
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err != nil {
+			return nil, fmt.Errorf("go list %v: decode: %v", patterns, err)
+		}
+		if len(lp.GoFiles) > 0 {
+			listed = append(listed, lp)
+		}
+	}
+	sort.Slice(listed, func(i, j int) bool { return listed[i].ImportPath < listed[j].ImportPath })
+
+	imp := NewImporter(fset)
+	var pkgs []*Package
+	for _, lp := range listed {
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		pkg, err := checkFiles(fset, imp, lp.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,251 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// LockScope encodes the lesson of the dead-singleflight race: in the
+// serving-path packages (serve, fed, mapreduce) a mutex must not be
+// held across an operation that can block indefinitely — a channel
+// send or receive outside a non-blocking select, or a call into the
+// deadline-bearing pipeline (any context-taking callee, Acquire,
+// Wait). A goroutine parked on a channel while holding the server's
+// mutex deadlocks every other request on contact.
+//
+// The analysis is linear and per-function: a region opens at
+// mu.Lock()/mu.RLock() and closes at the positionally-next matching
+// Unlock on the same receiver expression; `defer mu.Unlock()` holds to
+// the end of the function. Closure bodies are separate scan units —
+// code inside `go func() {...}` does not run under the spawning
+// function's lock. Non-blocking selects (those with a default clause)
+// are exempt, which is exactly the bounded-queue admission idiom the
+// serving layer already uses.
+var LockScope = &Analyzer{
+	Name: "lockscope",
+	Doc: "forbid holding a mutex across channel operations or ctx-blocking calls " +
+		"in serving-path packages (the dead-singleflight race class)",
+	Run: runLockScope,
+}
+
+func runLockScope(pass *Pass) error {
+	if !pkgInScope(pass.Pkg.Path(), lockSensitivePkgs) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					lockScopeFunc(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				lockScopeFunc(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lockRegion is one held-mutex interval within a function.
+type lockRegion struct {
+	recv       string
+	start, end token.Pos
+}
+
+func lockScopeFunc(pass *Pass, body *ast.BlockStmt) {
+	regions := lockRegions(pass, body)
+	if len(regions) == 0 {
+		return
+	}
+	held := func(pos token.Pos) *lockRegion {
+		for i := range regions {
+			if pos > regions[i].start && pos < regions[i].end {
+				return &regions[i]
+			}
+		}
+		return nil
+	}
+	var stack []ast.Node
+	visit := func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if inNestedFuncLit(stack, body) {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if r := held(n.Pos()); r != nil && !inNonBlockingSelect(stack) {
+				pass.Reportf(n.Pos(), "send",
+					"channel send while holding %s: a blocked send parks the goroutine with the mutex held (move the send outside the critical section or use a select with default)", r.recv)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if r := held(n.Pos()); r != nil && !inNonBlockingSelect(stack) {
+					pass.Reportf(n.Pos(), "recv",
+						"channel receive while holding %s: a blocked receive parks the goroutine with the mutex held", r.recv)
+				}
+			}
+		case *ast.CallExpr:
+			r := held(n.Pos())
+			if r == nil {
+				return true
+			}
+			if name, blocking := blockingCallee(pass.TypesInfo, n); blocking {
+				pass.Reportf(n.Pos(), "blocking-call",
+					"%s called while holding %s: the callee can block on a deadline or slot wait with the mutex held", name, r.recv)
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, visit)
+}
+
+// lockRegions scans body (excluding nested function literals) for
+// Lock/Unlock pairs on sync mutexes.
+func lockRegions(pass *Pass, body *ast.BlockStmt) []lockRegion {
+	var regions []lockRegion
+	open := map[string]int{} // recv expr -> index into regions of the open region
+	var stack []ast.Node
+	visit := func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if inNestedFuncLit(stack, body) {
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		method, recv := mutexMethod(pass, call)
+		if method == "" {
+			return true
+		}
+		isDefer := len(stack) >= 2 && isDeferCall(stack, call)
+		switch method {
+		case "Lock", "RLock":
+			if _, already := open[recv]; !already {
+				open[recv] = len(regions)
+				regions = append(regions, lockRegion{recv: recv, start: call.End(), end: body.End()})
+			}
+		case "Unlock", "RUnlock":
+			if isDefer {
+				// Held until function exit: leave end at body.End().
+				delete(open, recv)
+				break
+			}
+			if idx, ok := open[recv]; ok {
+				regions[idx].end = call.Pos()
+				delete(open, recv)
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, visit)
+	return regions
+}
+
+// mutexMethod matches calls to (R)Lock/(R)Unlock on sync.Mutex or
+// sync.RWMutex values, returning the method name and the printed
+// receiver expression used to pair locks with unlocks.
+func mutexMethod(pass *Pass, call *ast.CallExpr) (method, recv string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", ""
+	}
+	f, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	return sel.Sel.Name, exprString(pass.Fset, sel.X)
+}
+
+func isDeferCall(stack []ast.Node, call *ast.CallExpr) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.DeferStmt:
+			return s.Call == call
+		case ast.Stmt:
+			return false
+		}
+	}
+	return false
+}
+
+// blockingCallee reports whether call's target can block indefinitely:
+// it takes a context.Context (pipeline entry points by convention), or
+// is named Acquire/Wait (slot pool and waitgroup waits).
+func blockingCallee(info *types.Info, call *ast.CallExpr) (string, bool) {
+	f := funcObj(info, call)
+	if f == nil {
+		return "", false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	if f.Pkg() != nil && f.Pkg().Path() == "context" {
+		return "", false // context constructors take a Context but never block
+	}
+	if hasCtxParam(sig) {
+		return f.Name(), true
+	}
+	switch f.Name() {
+	case "Acquire", "Wait":
+		return f.Name(), true
+	}
+	return "", false
+}
+
+// inNestedFuncLit reports whether the innermost enclosing function of
+// the node at the top of stack is a literal other than root's owner.
+func inNestedFuncLit(stack []ast.Node, root *ast.BlockStmt) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		if lit, ok := stack[i].(*ast.FuncLit); ok {
+			return lit.Body != root
+		}
+	}
+	return false
+}
+
+// inNonBlockingSelect reports whether the node at the top of stack sits
+// in a comm clause of a select that has a default clause.
+func inNonBlockingSelect(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					return true
+				}
+			}
+			return false
+		case *ast.FuncLit:
+			return false
+		}
+	}
+	return false
+}
+
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "mutex"
+	}
+	return buf.String()
+}

@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+)
+
+// ObsNames keeps metric and span names dashboard-stable. Names
+// registered with the obs package are external API: dashboards, CI
+// gates, and the /metricz and /statz parsers all key on them, so they
+// must be knowable by reading the source. Two sub-rules:
+//
+//   - dynamic: the name argument to Registry.Counter/Gauge/Histogram,
+//     Tracer.StartSpan, or Span.Child is built at call time
+//     (fmt.Sprintf, concatenation with a variable, a computed
+//     string). Unbounded dynamic names silently fork time series;
+//     genuinely bounded families (one counter per shard) take a
+//     //mrlint:allow obsnames -- <cardinality argument> directive.
+//   - grammar: constant names must be lowercase dotted
+//     subsystem.name form: `serve.cache_hits`, `mapreduce.slot_wait`.
+//
+// Thin forwarding helpers (func (e *Engine) count(name string, ...) {
+// e.metrics.Counter(name)... }) are recognized: the parameter-passing
+// call is skipped and the helper's own call sites are checked instead,
+// one level deep.
+var ObsNames = &Analyzer{
+	Name: "obsnames",
+	Doc: "metric/span names must be compile-time constants in lowercase dotted " +
+		"subsystem.name form — dashboards key on them",
+	Run: runObsNames,
+}
+
+// Metric names must carry a subsystem prefix ("serve.cache_hits");
+// span names may be single-segment ("shuffle") because the trace tree
+// provides the context, but share the lowercase/underscore/dot
+// alphabet — no colons, hyphens, or uppercase.
+var (
+	metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9][a-z0-9_]*)+$`)
+	spanNameRE   = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9][a-z0-9_]*)*$`)
+)
+
+// obsCallSpec describes one obs naming method: where the name
+// argument sits and which grammar applies.
+type obsCallSpec struct {
+	nameIdx int
+	metric  bool
+}
+
+// obsNameMethods maps obs receiver type name -> method name -> spec.
+var obsNameMethods = map[string]map[string]obsCallSpec{
+	"Registry": {"Counter": {0, true}, "Gauge": {0, true}, "Histogram": {0, true}},
+	"Tracer":   {"StartSpan": {0, false}},
+	"Span":     {"Child": {0, false}},
+}
+
+type obsWrapper struct {
+	paramIdx int
+	metric   bool
+}
+
+func runObsNames(pass *Pass) error {
+	if pathBase(pass.Pkg.Path()) == "obs" {
+		// The registry implementation re-looks entries up by their
+		// stored (already validated) names; checking it would only
+		// flag its own internals.
+		return nil
+	}
+	// First pass: find direct obs calls, checking literal names and
+	// recording forwarding wrappers (name arg is a parameter of the
+	// enclosing function).
+	wrappers := map[*types.Func]obsWrapper{}
+	for _, file := range pass.Files {
+		var enclosing *types.Func
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				enclosing, _ = pass.TypesInfo.Defs[n.Name].(*types.Func)
+			case *ast.CallExpr:
+				spec, ok := obsNameSpec(pass.TypesInfo, n)
+				if !ok || spec.nameIdx >= len(n.Args) {
+					return true
+				}
+				arg := n.Args[spec.nameIdx]
+				if pidx, isParam := paramIndexOf(enclosing, pass.TypesInfo, arg); isParam {
+					if _, seen := wrappers[enclosing]; !seen {
+						wrappers[enclosing] = obsWrapper{paramIdx: pidx, metric: spec.metric}
+					}
+					return true
+				}
+				checkObsName(pass, arg, spec.metric)
+			}
+			return true
+		})
+	}
+	if len(wrappers) == 0 {
+		return nil
+	}
+	// Second pass: check call sites of the wrappers.
+	for _, file := range pass.Files {
+		var enclosing *types.Func
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				enclosing, _ = pass.TypesInfo.Defs[n.Name].(*types.Func)
+			case *ast.CallExpr:
+				f := funcObj(pass.TypesInfo, n)
+				if f == nil {
+					return true
+				}
+				w, isWrapper := wrappers[f]
+				if !isWrapper || w.paramIdx >= len(n.Args) {
+					return true
+				}
+				arg := n.Args[w.paramIdx]
+				if _, isParam := paramIndexOf(enclosing, pass.TypesInfo, arg); isParam {
+					return true // wrapper-of-wrapper: accepted one level deep
+				}
+				checkObsName(pass, arg, w.metric)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkObsName(pass *Pass, arg ast.Expr, metric bool) {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(arg.Pos(), "dynamic",
+			"metric/span name is built at call time: use a compile-time constant so dashboards can key on it (bounded families: //mrlint:allow obsnames -- <why cardinality is bounded>)")
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	if metric && !metricNameRE.MatchString(name) {
+		pass.Reportf(arg.Pos(), "grammar",
+			"metric name %q is not lowercase dotted subsystem.name form (want e.g. \"serve.cache_hits\")", name)
+	} else if !metric && !spanNameRE.MatchString(name) {
+		pass.Reportf(arg.Pos(), "grammar",
+			"span name %q is not lowercase dotted form (letters/digits/underscores, dot-separated; no colons or hyphens)", name)
+	}
+}
+
+// obsNameSpec reports whether call is a direct call to one of the obs
+// naming methods, returning that method's spec.
+func obsNameSpec(info *types.Info, call *ast.CallExpr) (obsCallSpec, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return obsCallSpec{}, false
+	}
+	f, _ := info.Uses[sel.Sel].(*types.Func)
+	if f == nil || f.Pkg() == nil || pathBase(f.Pkg().Path()) != "obs" {
+		return obsCallSpec{}, false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return obsCallSpec{}, false
+	}
+	recvName := receiverTypeName(sig.Recv().Type())
+	methods, ok := obsNameMethods[recvName]
+	if !ok {
+		return obsCallSpec{}, false
+	}
+	spec, ok := methods[f.Name()]
+	return spec, ok
+}
+
+func receiverTypeName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// paramIndexOf reports whether arg is a bare reference to a parameter
+// of fn, returning its index in fn's signature.
+func paramIndexOf(fn *types.Func, info *types.Info, arg ast.Expr) (int, bool) {
+	if fn == nil {
+		return 0, false
+	}
+	id, ok := ast.Unparen(arg).(*ast.Ident)
+	if !ok {
+		return 0, false
+	}
+	obj := info.ObjectOf(id)
+	if obj == nil {
+		return 0, false
+	}
+	params := fn.Type().(*types.Signature).Params()
+	for i := 0; i < params.Len(); i++ {
+		if params.At(i) == obj {
+			return i, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,35 @@
+package analysis_test
+
+import (
+	"go/token"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestSuiteCleanOnRepo is the lint gate's own regression test: the
+// committed tree must carry zero mrlint diagnostics. cmd/mrlint runs
+// the same loader and analyzer set, so this is equivalent to asserting
+// `mrlint ./...` exits 0.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source")
+	}
+	fset := token.NewFileSet()
+	pkgs, err := analysis.LoadPatterns(fset, []string{"repro/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("LoadPatterns(repro/...) resolved no packages")
+	}
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, analysis.All())
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s: %s: %s", pkg.Path, fset.Position(d.Pos), d.Rule, d.Message)
+		}
+	}
+}

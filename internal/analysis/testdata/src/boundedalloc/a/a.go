@@ -1,0 +1,86 @@
+// Package a exercises boundedalloc: sources are byte-order decodes and
+// binary.Read targets, sinks are make and matrix.New.
+package a
+
+import (
+	"bytes"
+	"encoding/binary"
+
+	"matrix"
+)
+
+func unbounded(buf []byte) []byte {
+	n := binary.LittleEndian.Uint32(buf)
+	return make([]byte, n) // want "decoded from wire/header bytes .* without a bound check"
+}
+
+func bounded(buf []byte) []byte {
+	n := binary.LittleEndian.Uint32(buf)
+	if n > 1<<20 {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+func boundedSwitch(buf []byte) []byte {
+	n := binary.LittleEndian.Uint16(buf)
+	switch {
+	case n > 4096:
+		return nil
+	}
+	return make([]byte, n)
+}
+
+func checkedTooLate(buf []byte) []byte {
+	n := binary.LittleEndian.Uint32(buf)
+	out := make([]byte, n) // want "decoded from wire/header bytes .* without a bound check"
+	if n > 1<<20 {
+		return nil
+	}
+	return out
+}
+
+func viaBinaryRead(r *bytes.Reader) ([]float64, error) {
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	out := make([]float64, count) // want "decoded from wire/header bytes .* without a bound check"
+	return out, nil
+}
+
+func dims(hdr []byte) *matrix.Dense {
+	r := binary.LittleEndian.Uint32(hdr)
+	c := binary.LittleEndian.Uint32(hdr[4:])
+	return matrix.New(int(r), int(c)) // want "\"r\", which was decoded" "\"c\", which was decoded"
+}
+
+func propagated(buf []byte) []byte {
+	n := binary.LittleEndian.Uint64(buf)
+	total := int(n) * 8
+	return make([]byte, total) // want "decoded from wire/header bytes .* without a bound check"
+}
+
+func clampedByMin(buf []byte) []byte {
+	n := binary.LittleEndian.Uint32(buf)
+	k := min(int(n), 4096)
+	return make([]byte, k)
+}
+
+func clampLimit(n uint32) int {
+	if n > 4096 {
+		return 4096
+	}
+	return int(n)
+}
+
+func clampedByHelper(buf []byte) []byte {
+	n := binary.LittleEndian.Uint32(buf)
+	return make([]byte, clampLimit(n))
+}
+
+func trusted(buf []byte) []byte {
+	n := binary.LittleEndian.Uint32(buf)
+	//mrlint:allow boundedalloc -- header is checksum-verified before this point
+	return make([]byte, n)
+}

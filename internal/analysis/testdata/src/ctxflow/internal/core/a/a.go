@@ -1,0 +1,43 @@
+// Package a exercises ctxflow inside a scoped import path.
+package a
+
+import "context"
+
+func dep(ctx context.Context) {}
+
+func severed(ctx context.Context) {
+	dep(context.Background()) // want "severs deadline propagation"
+	dep(context.TODO())       // want "severs deadline propagation"
+}
+
+func propagated(ctx context.Context) {
+	dep(ctx)
+}
+
+// noCtx takes no context, so handing callees a fresh root is its only
+// option: out of the rule's scope.
+func noCtx() {
+	dep(context.Background())
+}
+
+func blockingSend(ctx context.Context, ch chan int) {
+	ch <- 1 // want "blocking channel send in a context-taking function"
+}
+
+func selectSend(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 1:
+	case <-ctx.Done():
+	}
+}
+
+func localBufferedSend(ctx context.Context, n int) <-chan int {
+	out := make(chan int, n)
+	out <- 1 // sized-local-buffer idiom: exempt
+	return out
+}
+
+func allowedSend(ctx context.Context, ch chan int) {
+	//mrlint:allow ctxflow(blocking-send) -- receiver is drained unconditionally by the caller
+	ch <- 1
+}

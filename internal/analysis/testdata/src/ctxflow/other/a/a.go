@@ -1,0 +1,15 @@
+// Package a repeats the ctxflow violations outside the scoped
+// packages: none may be reported.
+package a
+
+import "context"
+
+func dep(ctx context.Context) {}
+
+func severed(ctx context.Context) {
+	dep(context.Background())
+}
+
+func blockingSend(ctx context.Context, ch chan int) {
+	ch <- 1
+}

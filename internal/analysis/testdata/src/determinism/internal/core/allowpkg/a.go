@@ -1,0 +1,14 @@
+package allowpkg
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() int64 {
+	return time.Now().Unix() // suppressed by the package-scope directive in doc.go
+}
+
+func stillFlagged() int {
+	return rand.Intn(10) // want "draws from the ambient global source"
+}

@@ -1,0 +1,6 @@
+// Package allowpkg exercises the package-scoped allowlist: the
+// directive below suppresses the time.Now sub-rule for every file of
+// the package, while other determinism sub-rules keep firing.
+//
+//mrlint:allow determinism(time.Now) -- wall-clock reads here feed timing reports only
+package allowpkg

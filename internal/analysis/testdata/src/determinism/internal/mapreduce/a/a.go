@@ -1,0 +1,86 @@
+// Package a exercises every determinism sub-rule inside a
+// replay-critical import path.
+package a
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clock() int64 {
+	t := time.Now() // want "wall-clock values must not influence replayed output"
+	return t.Unix()
+}
+
+func allowedClock() int64 {
+	//mrlint:allow determinism(time.Now) -- measurement only, never reaches output bytes
+	return time.Now().Unix()
+}
+
+func ambientRand() int {
+	return rand.Intn(10) // want "draws from the ambient global source"
+}
+
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func unsortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration order is nondeterministic"
+		out = append(out, k)
+	}
+	return out
+}
+
+func sortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func reduceSum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // order-insensitive accumulation: no sequence is built
+		total += v
+	}
+	return total
+}
+
+func racyCounter(work []int) int {
+	done := 0
+	for range work {
+		go func() {
+			done++ // want "captured by a go closure without synchronization"
+		}()
+	}
+	return done
+}
+
+func localCounter(work []int) {
+	for range work {
+		go func() {
+			n := 0
+			n++ // goroutine-local: fine
+			_ = n
+		}()
+	}
+}
+
+type locked struct{ mu interface{ Lock() } }
+
+func guardedCounter(l *locked, work []int) int {
+	done := 0
+	for range work {
+		go func() {
+			l.mu.Lock()
+			done++ // closure takes a lock: skipped by the linear analysis
+		}()
+	}
+	return done
+}

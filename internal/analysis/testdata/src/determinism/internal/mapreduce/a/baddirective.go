@@ -1,0 +1,7 @@
+package a
+
+// A typo'd suppression must fail the run, not silently allow nothing.
+
+//mrlint:allow nosuchrule -- typo'd rule name // want "names invalid rule"
+
+//mrlint:allow determinism // want "needs a justification"

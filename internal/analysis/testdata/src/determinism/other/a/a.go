@@ -1,0 +1,24 @@
+// Package a repeats the determinism violations in an import path
+// outside the replay-critical scope: none of them may be reported.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() int64 {
+	return time.Now().Unix()
+}
+
+func ambientRand() int {
+	return rand.Intn(10)
+}
+
+func unsortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

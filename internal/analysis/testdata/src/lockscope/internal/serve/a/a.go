@@ -1,0 +1,82 @@
+// Package a exercises lockscope inside a serving-path import path.
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+type server struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func run(ctx context.Context) {}
+
+func (s *server) badSend() {
+	s.mu.Lock()
+	s.ch <- 1 // want "channel send while holding"
+	s.mu.Unlock()
+}
+
+func (s *server) sendAfterUnlock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- 1
+}
+
+func (s *server) badRecvUnderDefer() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	<-s.ch // want "channel receive while holding"
+}
+
+func (s *server) nonBlockingSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1:
+	default:
+	}
+}
+
+func (s *server) badBlockingCall(ctx context.Context) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	run(ctx) // want "can block on a deadline or slot wait with the mutex held"
+}
+
+func (s *server) badWait(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	wg.Wait() // want "can block on a deadline or slot wait with the mutex held"
+	s.mu.Unlock()
+}
+
+func (s *server) callAfterUnlock(ctx context.Context) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	run(ctx)
+}
+
+func (s *server) ctxConstructorIsFine(ctx context.Context) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, cancel := context.WithCancel(ctx)
+	_ = c
+	cancel()
+}
+
+func (s *server) goroutineIsSeparate() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.ch <- 1 // runs after the spawn, not under the spawner's lock
+	}()
+}
+
+func (s *server) allowedSend() {
+	s.mu.Lock()
+	//mrlint:allow lockscope(send) -- ch is buffered to fleet size at construction; the send cannot block
+	s.ch <- 1
+	s.mu.Unlock()
+}

@@ -1,0 +1,16 @@
+// Package a repeats the lockscope violations outside the serving-path
+// scope: none may be reported.
+package a
+
+import "sync"
+
+type worker struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (w *worker) sendUnderLock() {
+	w.mu.Lock()
+	w.ch <- 1
+	w.mu.Unlock()
+}

@@ -1,0 +1,13 @@
+// Package matrix is a fixture stand-in for the repository's matrix
+// package: boundedalloc treats matrix.New's dimension arguments as
+// allocation sinks by the package's base name.
+package matrix
+
+type Dense struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+func New(r, c int) *Dense {
+	return &Dense{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}

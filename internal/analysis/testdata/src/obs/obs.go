@@ -1,0 +1,31 @@
+// Package obs is a fixture stand-in for the repository's obs package.
+// The obsnames analyzer matches callees by package base name and
+// receiver type name, so this skeleton is enough to exercise it.
+package obs
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter     { return &Counter{} }
+func (r *Registry) Gauge(name string) *Gauge         { return &Gauge{} }
+func (r *Registry) Histogram(name string) *Histogram { return &Histogram{} }
+
+type Counter struct{}
+
+func (c *Counter) Add(d float64) {}
+
+type Gauge struct{}
+
+func (g *Gauge) Set(v float64) {}
+
+type Histogram struct{}
+
+func (h *Histogram) Observe(v float64) {}
+
+type Tracer struct{}
+
+func (t *Tracer) StartSpan(name string) *Span { return &Span{} }
+
+type Span struct{}
+
+func (s *Span) Child(name string) *Span { return &Span{} }
+func (s *Span) End()                    {}

@@ -1,0 +1,50 @@
+// Package a exercises obsnames: constant-name grammar, dynamic names,
+// forwarding wrappers, and the cardinality allowlist.
+package a
+
+import (
+	"fmt"
+
+	"obs"
+)
+
+func metrics(reg *obs.Registry, shard int) {
+	reg.Counter("serve.cache_hits").Add(1)
+	reg.Counter("BadName").Add(1)                          // want "not lowercase dotted subsystem.name form"
+	reg.Counter("flat").Add(1)                             // want "not lowercase dotted subsystem.name form"
+	reg.Gauge(fmt.Sprintf("shard.%d.depth", shard)).Set(0) // want "built at call time"
+	name := "serve." + suffix()
+	reg.Histogram(name).Observe(1) // want "built at call time"
+}
+
+func suffix() string { return "x" }
+
+func constExpr(reg *obs.Registry) {
+	// Constant folding: a concatenation of constants is still a
+	// compile-time constant, and grammar applies to the folded value.
+	reg.Counter("serve" + "." + "hits").Add(1)
+	reg.Counter("serve" + ":hits").Add(1) // want "not lowercase dotted subsystem.name form"
+}
+
+func spans(tr *obs.Tracer) {
+	sp := tr.StartSpan("shuffle") // single-segment span names are fine
+	sp.Child("map_recovery").End()
+	sp.Child("chaos:kill").End() // want "no colons or hyphens"
+}
+
+type engine struct{ reg *obs.Registry }
+
+// count forwards its name parameter to the registry: the analyzer
+// checks count's call sites instead of this line.
+func (e *engine) count(name string) { e.reg.Counter(name).Add(1) }
+
+func wrapped(e *engine) {
+	e.count("serve.hits")
+	e.count("Nope")                     // want "not lowercase dotted subsystem.name form"
+	e.count(fmt.Sprintf("serve.%d", 1)) // want "built at call time"
+}
+
+func perShard(reg *obs.Registry, shard int) {
+	//mrlint:allow obsnames(dynamic) -- one counter per shard, bounded by fleet size
+	reg.Counter(fmt.Sprintf("fed.shard.%d.requests", shard)).Add(1)
+}

@@ -1,0 +1,18 @@
+// Package obs mirrors the shape of the real registry implementation:
+// packages whose import path ends in /obs are exempt from obsnames,
+// because the registry re-handles names its callers already had
+// validated. Nothing here may be reported.
+package obs
+
+type Registry struct{ names []string }
+
+func (r *Registry) Counter(name string) int {
+	r.names = append(r.names, name)
+	return 0
+}
+
+func (r *Registry) Render() {
+	for _, n := range r.names {
+		r.Counter("re:" + n)
+	}
+}

@@ -406,7 +406,7 @@ func (e *Engine) fireLocked(ev Event, trigNode int) bool {
 				healed = bytes
 			}
 		}
-		e.pointSpan("chaos:kill", v, healed)
+		e.pointSpan("chaos.kill", v, healed)
 	case Restart:
 		v := ev.Node
 		if v == VictimOldestDead {
@@ -439,25 +439,25 @@ func (e *Engine) fireLocked(ev Event, trigNode int) bool {
 				healed = bytes
 			}
 		}
-		e.pointSpan("chaos:restart", v, healed)
+		e.pointSpan("chaos.restart", v, healed)
 	case Slow:
 		v := e.resolveLocked(ev.Node, trigNode)
 		if v < 0 || !e.alive[v] {
 			return false
 		}
 		e.slow[v] = ev.Delay
-		e.pointSpan("chaos:slow", v, 0)
+		e.pointSpan("chaos.slow", v, 0)
 	case Heal:
 		if ev.Node == VictimAll {
 			for i := range e.slow {
 				e.slow[i] = 0
 			}
-			e.pointSpan("chaos:heal", VictimAll, 0)
+			e.pointSpan("chaos.heal", VictimAll, 0)
 			return true
 		}
 		if v := e.resolveLocked(ev.Node, trigNode); v >= 0 {
 			e.slow[v] = 0
-			e.pointSpan("chaos:heal", v, 0)
+			e.pointSpan("chaos.heal", v, 0)
 		}
 	}
 	return true

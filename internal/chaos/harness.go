@@ -156,6 +156,7 @@ func runOnceOn(opts core.Options, a *matrix.Dense, fs *dfs.FS, eng *Engine) (*Ru
 	if err != nil {
 		return nil, err
 	}
+	//mrlint:allow determinism(time.Now) -- measures experiment wall time for the slowdown ratio; never enters the replayed inverse
 	start := time.Now()
 	inv, rep, err := p.Invert(a)
 	if err != nil {

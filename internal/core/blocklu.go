@@ -76,6 +76,7 @@ func (st *pipelineState) computeLU(node *nodeInput) (*luHandle, error) {
 // masterLU decomposes a leaf submatrix on the master node (Algorithm 2
 // lines 2-3) and writes its l/u/p files.
 func (st *pipelineState) masterLU(node *nodeInput) (*luHandle, error) {
+	//mrlint:allow obsnames -- per-leaf trace spans carry the node directory; bounded by the recursion tree
 	op := st.span.Child("master-lu:"+node.dir, obs.KindOp)
 	defer op.Finish()
 	op.SetAttr("order", int64(node.n))
@@ -127,6 +128,7 @@ func (st *pipelineState) writeLeaf(dir string, l, u *matrix.Dense, p matrix.Perm
 // rewrites them as single files — the serial master-side work the
 // Section 6.1 optimization eliminates.
 func (st *pipelineState) combineLevel(dir string, hd *luHandle) (*luHandle, error) {
+	//mrlint:allow obsnames -- per-level trace spans carry the level directory; bounded by the recursion depth
 	op := st.span.Child("combine:"+dir, obs.KindOp)
 	defer op.Finish()
 	rd := masterReader(st.fs)

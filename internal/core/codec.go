@@ -22,6 +22,12 @@ import (
 const (
 	permMagic    = uint32(0x50524d31) // "PRM1"
 	indexedMagic = uint32(0x49584231) // "IXB1"
+
+	// maxCodecDim caps every header-declared length before element
+	// storage is allocated, mirroring matrix.ReadBinary's dimension
+	// bound: a corrupt or hostile intermediate file must not be able
+	// to demand a huge allocation with a few header bytes.
+	maxCodecDim = 1 << 24
 )
 
 // writePerm stores p at path.
@@ -58,6 +64,9 @@ func readPerm(fs *dfs.FS, path string) (matrix.Perm, error) {
 	}
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
 		return nil, err
+	}
+	if n > maxCodecDim {
+		return nil, fmt.Errorf("core: readPerm %s: implausible length %d", path, n)
 	}
 	p := make(matrix.Perm, n)
 	for i := range p {
@@ -123,6 +132,9 @@ func readIndexed(rd fsRawReader, path string) (indexedBlock, error) {
 	}
 	if magic != indexedMagic {
 		return indexedBlock{}, fmt.Errorf("core: readIndexed %s: bad magic %#x", path, magic)
+	}
+	if nr > maxCodecDim || nc > maxCodecDim {
+		return indexedBlock{}, fmt.Errorf("core: readIndexed %s: implausible index counts %dx%d", path, nr, nc)
 	}
 	readIdx := func(n uint32) ([]int, error) {
 		if n == 0 {

@@ -79,7 +79,7 @@ func (st *pipelineState) runInvertJob(hd *luHandle) (*matrix.Dense, error) {
 	st.recordJob(jr)
 
 	// Assemble A^-1 from the reducers' indexed output blocks.
-	aspan := st.span.Child("assemble-output", obs.KindOp)
+	aspan := st.span.Child("assemble_output", obs.KindOp)
 	defer aspan.Finish()
 	out := matrix.New(n, n)
 	rd := masterReader(st.fs)

@@ -191,6 +191,7 @@ func (p *Pipeline) InvertCtx(ctx context.Context, a *matrix.Dense) (*matrix.Dens
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
+	//mrlint:allow determinism(time.Now) -- wall time feeds Report.Elapsed and obs spans only; output bytes are clock-free
 	start := time.Now()
 	p.attachObs()
 	st := &pipelineState{opts: p.Opts, fs: p.FS, cluster: p.Cluster, ctx: ctx}
@@ -207,7 +208,7 @@ func (p *Pipeline) InvertCtx(ctx context.Context, a *matrix.Dense) (*matrix.Dens
 	}
 
 	// Stage 0 (master): store the input and the Section 5.1 control files.
-	wspan := st.span.Child("write-input", obs.KindOp)
+	wspan := st.span.Child("write_input", obs.KindOp)
 	if err := writeInputBands(p.FS, p.Opts, a, p.Opts.Nodes); err != nil {
 		finishSpanErr(st.span, err)
 		return nil, nil, err

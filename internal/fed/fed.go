@@ -221,8 +221,10 @@ func (f *Fleet) Do(ctx context.Context, req Request) (*Result, error) {
 		f.met.Counter("fed.spill").Add(1)
 		f.tenants.noteSpill(req.Tenant)
 	} else {
+		//mrlint:allow obsnames -- route is the closed enum home/random/spill
 		f.met.Counter("fed." + route).Add(1)
 	}
+	//mrlint:allow obsnames -- one counter per shard, fixed at fleet construction; dashboards enumerate shards deliberately
 	f.met.Counter(fmt.Sprintf("fed.shard.%d.requests", target)).Add(1)
 	release(err == nil)
 	if err != nil {
@@ -352,9 +354,10 @@ func (f *Fleet) Snapshot() Stats {
 		st.Shards = append(st.Shards, ShardStats{
 			ID:           i,
 			RingFraction: own[i],
-			Requests:     f.met.Counter(fmt.Sprintf("fed.shard.%d.requests", i)).Value(),
-			Healthy:      s.Healthy(),
-			Serve:        ss,
+			//mrlint:allow obsnames -- reads back the per-shard counters registered above; same bounded family
+			Requests: f.met.Counter(fmt.Sprintf("fed.shard.%d.requests", i)).Value(),
+			Healthy:  s.Healthy(),
+			Serve:    ss,
 		})
 		st.CacheHits += ss.CacheHits
 		st.DedupHits += ss.DedupHits

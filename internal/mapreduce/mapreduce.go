@@ -311,8 +311,10 @@ func (b *emitBuffer) Emit(key string, value []byte) {
 // Returns nil (a no-op span) when neither is configured.
 func (c *Cluster) jobSpan(job *Job) *obs.Span {
 	if job.TraceParent != nil {
+		//mrlint:allow obsnames -- the job name is the span's identity; cardinality is the pipeline's fixed job set
 		return job.TraceParent.Child(job.Name, obs.KindJob)
 	}
+	//mrlint:allow obsnames -- the job name is the span's identity; cardinality is the pipeline's fixed job set
 	return c.Tracer.StartSpan(job.Name, obs.KindJob)
 }
 
@@ -337,6 +339,7 @@ func (c *Cluster) RunCtx(ctx context.Context, job *Job) (*JobResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, cancelErr(job.Name, err)
 	}
+	//mrlint:allow determinism(time.Now) -- job wall time feeds JobResult timings and spans; task outputs are clock-free
 	start := time.Now()
 	jobSpan := c.jobSpan(job)
 	var fsBefore dfs.Stats
@@ -702,12 +705,13 @@ func (c *Cluster) runPhaseLocal(ctx context.Context, sj *SchedJob, n, maxAttempt
 					}
 					running[t.id]++
 					if running[t.id] == 1 {
-						started[t.id] = time.Now()
+						started[t.id] = time.Now() //mrlint:allow determinism(time.Now) -- speculative-execution timing only; which attempt wins never changes task output
 					}
 					mu.Unlock()
 
 					var taskSpan *obs.Span
 					if phaseSpan != nil {
+						//mrlint:allow obsnames -- per-task trace spans carry the task id; bounded by the phase's task count
 						taskSpan = phaseSpan.Child(label+":"+strconv.Itoa(t.id), obs.KindTask)
 						taskSpan.SetTrack(node)
 						taskSpan.SetAttr("attempt", int64(t.attempt))
@@ -725,7 +729,7 @@ func (c *Cluster) runPhaseLocal(ctx context.Context, sj *SchedJob, n, maxAttempt
 						fpEpoch = c.Faults.NodeEpoch(node)
 						fpDelay, fpErr = c.Faults.AttemptStart(sj.name, t.id, t.attempt, node, label == "map")
 					}
-					begin := time.Now()
+					begin := time.Now() //mrlint:allow determinism(time.Now) -- per-task duration for speculation medians and spans; not part of task output
 					var result any
 					var counters map[string]int64
 					var err error
@@ -829,6 +833,7 @@ func (c *Cluster) runPhaseLocal(ctx context.Context, sj *SchedJob, n, maxAttempt
 						}
 						specDone[i] = true
 						pr.speculative++
+						//mrlint:allow lockscope(send) -- work is sized n*(maxAttempts+3)+16, enough for every possible enqueue; the send can never block
 						work <- try{id: i, attempt: maxAttempts} // distinct attempt id
 					}
 					mu.Unlock()
@@ -921,7 +926,7 @@ func (c *Cluster) recoverMapOutputs(ctx context.Context, sj *SchedJob, job *Job,
 		if c.Metrics != nil {
 			c.Metrics.Counter("mapreduce.lost_map_outputs").Add(int64(len(lost)))
 		}
-		recSpan := jobSpan.Child("map-recovery", obs.KindPhase)
+		recSpan := jobSpan.Child("map_recovery", obs.KindPhase)
 		recSpan.SetAttr("lost_outputs", int64(len(lost)))
 		var prefer func(int) []int
 		if job.Prefer != nil {

@@ -113,7 +113,7 @@ func (p *SlotPool) admittedCount() int {
 // granted.
 func (j *SchedJob) Acquire(ctx context.Context, stop <-chan struct{}) (slot int, wait time.Duration, ok bool) {
 	p := j.pool
-	w := &slotWaiter{ch: make(chan int, 1), at: time.Now()}
+	w := &slotWaiter{ch: make(chan int, 1), at: time.Now()} //mrlint:allow determinism(time.Now) -- slot-wait accounting only; scheduling order is priority+round-robin, not time
 	p.mu.Lock()
 	if j.closed {
 		p.mu.Unlock()

@@ -327,8 +327,11 @@ func validate(req Request) error {
 func (s *Server) Do(ctx context.Context, req Request) (*Result, error) {
 	start := time.Now()
 	s.met.Counter("serve.requests").Add(1)
-	if req.Kind != KindInvert {
-		s.met.Counter("serve.requests_" + string(req.Kind)).Add(1)
+	switch req.Kind {
+	case KindLstsq:
+		s.met.Counter("serve.requests_lstsq").Add(1)
+	case KindPinv:
+		s.met.Counter("serve.requests_pinv").Add(1)
 	}
 	if err := validate(req); err != nil {
 		s.met.Counter("serve.invalid").Add(1)

@@ -18,6 +18,8 @@
 // block-LU pipeline in internal/core handles this workload badly (it
 // requires square inputs outright); TSQR is the regression-shaped
 // complement the serving tier exposes as /lstsq and /pinv.
+//
+//mrlint:allow determinism(time.Now) -- wall-clock reads here feed Report timings and obs histograms only; factor/apply outputs are byte-stable by the shuffle contract
 package tsqr
 
 import (
