@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover cover-check bench bench-smoke chaos-smoke fleet-smoke lstsq-smoke experiments examples trace serve load fmt vet lint mrlint clean
+.PHONY: all build test race cover cover-check bench bench-smoke chaos-smoke fleet-smoke lstsq-smoke transfer-check experiments examples trace serve load fmt vet lint mrlint clean
 
 all: build test
 
@@ -101,6 +101,16 @@ bench-smoke:
 	$(GO) run repro/cmd/loadgen -mode closed -concurrency 4 -requests 32 -seed 1 -mix 256x8:3,192x6:2,24:5 -dup 0.25 -verify >> BENCH_report.json
 	$(GO) run repro/cmd/mrbench -exp all -seed 1 -json >> BENCH_report.json
 	$(GO) run repro/cmd/mrbench -kill-nodes 2 -n 96 -nb 24 -seed 1 -json >> BENCH_report.json
+	grep -q '"experiment":"multiround"' BENCH_report.json
+	grep -q '"strategy":"replicated"' BENCH_report.json
+	grep -q '"beats_single":true' BENCH_report.json
+
+# Shuffle-bytes regression gate, as run by CI: seeded multiply per
+# strategy on the gated shape, bit-identity against the sequential
+# reference, and measured transfer within +5% of ci/transfer_baseline.txt
+# (with the replicated strategy required to keep beating single-round).
+transfer-check:
+	$(GO) run repro/cmd/transfercheck
 
 # Seeded fleet smoke, as run by CI: drive a saturating skewed mix at an
 # in-process 4-shard federated fleet with two tenant classes and tight

@@ -21,6 +21,7 @@ import (
 
 	mrinverse "repro"
 	"repro/internal/core"
+	"repro/internal/costmodel"
 	"repro/internal/matrix"
 	"repro/internal/obs"
 	"repro/internal/scalapack"
@@ -68,6 +69,9 @@ func main() {
 	noWrap := flag.Bool("no-block-wrap", false, "disable the Section 6.2 optimization")
 	noTrans := flag.Bool("no-transpose-u", false, "disable the Section 6.3 optimization")
 	stream := flag.Bool("stream", false, "stream factors in row bands during inversion (bounded task memory)")
+	multiply := flag.String("multiply", "", "multiply strategy: single-round | replicated | space-round | auto (empty = single-round)")
+	rho := flag.Int("rho", 0, "replication / round parameter for the multi-round strategies (0 derives it)")
+	mulMem := flag.Int64("multiply-memory", 0, "per-reducer byte budget for the space-round strategy (0 = uncapped)")
 	showLayout := flag.Bool("show-layout", false, "print the Figure 4 HDFS directory tree after a mapreduce run")
 	showJobs := flag.Bool("show-jobs", false, "print the per-job breakdown after a mapreduce run")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the run (view in chrome://tracing or ui.perfetto.dev)")
@@ -104,6 +108,17 @@ func main() {
 		opts.BlockWrap = !*noWrap
 		opts.TransposeU = !*noTrans
 		opts.StreamingInversion = *stream
+		opts.MultiplyRho = *rho
+		opts.MultiplyMemory = *mulMem
+		if *multiply == "auto" {
+			choice := costmodel.ChooseMultiply(costmodel.NewCluster(costmodel.Medium, opts.Nodes),
+				a.Rows, a.Cols, a.Rows, float64(*mulMem))
+			choice.Apply(&opts)
+			opts.MultiplyMemory = *mulMem
+			fmt.Printf("multiply auto selected %s (rho %d): %s\n", choice.Strategy, choice.Rho, choice.Reason)
+		} else {
+			opts.Multiply = core.MultiplyStrategy(*multiply)
+		}
 		p, perr := core.NewPipeline(opts)
 		if perr != nil {
 			log.Fatal(perr)

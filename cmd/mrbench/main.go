@@ -23,12 +23,14 @@ import (
 
 	mrinverse "repro"
 	"repro/internal/chaos"
+	"repro/internal/core"
 	"repro/internal/costmodel"
+	"repro/internal/matrix"
 	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
-var allExperiments = []string{"table1", "table2", "table3", "fig6", "fig7", "fig8", "sec74", "acc", "nb", "engines", "spark"}
+var allExperiments = []string{"table1", "table2", "table3", "fig6", "fig7", "fig8", "sec74", "acc", "nb", "engines", "spark", "multiround"}
 
 // seedBase offsets every measurement matrix's RNG seed; the -seed flag
 // makes measured runs reproducible (same seed, same matrices) without
@@ -36,7 +38,7 @@ var allExperiments = []string{"table1", "table2", "table3", "fig6", "fig7", "fig
 var seedBase int64 = 1
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table1|table2|table3|fig6|fig7|fig8|sec74|acc|nb|engines|spark|all")
+	exp := flag.String("exp", "all", "experiment id: table1|table2|table3|fig6|fig7|fig8|sec74|acc|nb|engines|spark|multiround|all")
 	measure := flag.Bool("measure", false, "also run real reduced-scale measurements")
 	n := flag.Int("n", 384, "matrix order for -measure runs")
 	nb := flag.Int("nb", 64, "bound value for -measure runs")
@@ -68,6 +70,7 @@ func main() {
 		"fig6": fig6, "fig7": fig7, "fig8": fig8,
 		"sec74": sec74, "acc": acc,
 		"nb": nbTune, "engines": engines, "spark": sparkExp,
+		"multiround": multiRound,
 	}
 	if *exp == "all" {
 		for _, id := range allExperiments {
@@ -299,9 +302,99 @@ func jsonPayload(id string, measure bool, n, nb int) (any, error) {
 			"mapreduce_bytes_read": rep.FS.BytesRead,
 			"spark_residual":       mrinverse.Residual(a, sparkInv),
 		}, nil
+	case "multiround":
+		rows, err := multiRoundRows(256, 16)
+		if err != nil {
+			return nil, err
+		}
+		choice := costmodel.ChooseMultiply(costmodel.NewCluster(costmodel.Medium, 64), 102400, 102400, 102400, 0)
+		return map[string]any{
+			"n":     256,
+			"nodes": 16,
+			"rows":  rows,
+			"paper_scale_choice": map[string]any{
+				"n": 102400, "nodes": 64,
+				"strategy": string(choice.Strategy), "rho": choice.Rho, "reason": choice.Reason,
+			},
+		}, nil
 	default:
 		return nil, fmt.Errorf("unknown experiment %q", id)
 	}
+}
+
+// multiRoundRow is one measured multiply-strategy execution on the gated
+// M-suite shape (order M5/64 on 16 nodes).
+type multiRoundRow struct {
+	Strategy         string  `json:"strategy"`
+	Rho              int     `json:"rho"`
+	Grid             [2]int  `json:"grid"`
+	Jobs             int     `json:"jobs"`
+	TransferredBytes int64   `json:"transferred_bytes"`
+	BytesRead        int64   `json:"bytes_read"`
+	ShuffledKVs      int     `json:"shuffled_kvs"`
+	MaxAbsDiff       float64 `json:"max_abs_diff"`
+	BeatsSingle      bool    `json:"beats_single"`
+}
+
+// multiRoundRows measures every multiply strategy on one seeded n x n
+// product: the fig7-style communication comparison backing the CI
+// transfer gate, with exactness checked against the in-process product.
+func multiRoundRows(n, nodes int) ([]multiRoundRow, error) {
+	a := workload.Random(n, seedBase+11)
+	b := workload.Random(n, seedBase+12)
+	exact, err := matrix.Mul(a, b)
+	if err != nil {
+		return nil, err
+	}
+	var rows []multiRoundRow
+	var single int64
+	for _, strategy := range []core.MultiplyStrategy{
+		core.MultiplySingleRound, core.MultiplyReplicated, core.MultiplySpaceRound,
+	} {
+		opts := core.DefaultOptions(nodes)
+		opts.Multiply = strategy
+		p, err := core.NewPipeline(opts)
+		if err != nil {
+			return nil, err
+		}
+		out, rep, err := p.MultiplyWithReport(a, b)
+		if err != nil {
+			return nil, fmt.Errorf("multiround %s: %w", strategy, err)
+		}
+		if strategy == core.MultiplySingleRound {
+			single = rep.TransferredBytes
+		}
+		rows = append(rows, multiRoundRow{
+			Strategy:         string(rep.Strategy),
+			Rho:              rep.Rho,
+			Grid:             rep.Grid,
+			Jobs:             rep.Jobs,
+			TransferredBytes: rep.TransferredBytes,
+			BytesRead:        rep.BytesRead,
+			ShuffledKVs:      rep.ShuffledKVs,
+			MaxAbsDiff:       matrix.MaxAbsDiff(out, exact),
+			BeatsSingle:      strategy != core.MultiplySingleRound && rep.TransferredBytes < single,
+		})
+	}
+	return rows, nil
+}
+
+func multiRound(measure bool, n, nb int) {
+	header("Multi-round multiplication: measured shuffle bytes per strategy (n=256, 16 nodes)")
+	rows, err := multiRoundRows(256, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-14s %4s %-8s %5s %16s %14s %12s %6s\n",
+		"strategy", "rho", "grid", "jobs", "transferred", "read", "maxdiff", "wins")
+	for _, r := range rows {
+		fmt.Printf("%-14s %4d %-8s %5d %16d %14d %12.2g %6v\n",
+			r.Strategy, r.Rho, fmt.Sprintf("%dx%d", r.Grid[0], r.Grid[1]),
+			r.Jobs, r.TransferredBytes, r.BytesRead, r.MaxAbsDiff, r.BeatsSingle)
+	}
+	choice := costmodel.ChooseMultiply(costmodel.NewCluster(costmodel.Medium, 64), 102400, 102400, 102400, 0)
+	fmt.Printf("paper scale (n=102400, 64 nodes): ChooseMultiply -> %s rho=%d\n  %s\n",
+		choice.Strategy, choice.Rho, choice.Reason)
 }
 
 func header(s string) { fmt.Printf("=== %s ===\n", s) }

@@ -1,0 +1,193 @@
+// transfercheck is the shuffle-bytes regression gate: it runs one seeded
+// multiplication per strategy on the gated M-suite shape, verifies every
+// strategy is bit-identical to the sequential segmented reference, and
+// compares the measured DFS transfer against the per-strategy baselines
+// in ci/transfer_baseline.txt. The multiply jobs schedule with strict
+// locality, so the measured bytes are exactly reproducible — any drift
+// is a code change, not scheduling noise.
+//
+//	transfercheck                              # gate against the baseline
+//	transfercheck -write                       # regenerate the baseline
+//	transfercheck -n 256 -nodes 16 -seed 1     # the gated shape (defaults)
+//
+// The gate fails when any strategy transfers more than baseline x 1.05,
+// when the replicated strategy stops beating single-round, or when any
+// strategy's product is not bit-identical to the reference.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/workload"
+)
+
+// tolerance is the allowed regression over the recorded baseline.
+const tolerance = 1.05
+
+type measurement struct {
+	strategy core.MultiplyStrategy
+	rho      int
+	bytes    int64
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "ci/transfer_baseline.txt", "per-strategy transfer baseline file")
+	write := flag.Bool("write", false, "regenerate the baseline from this run instead of gating")
+	n := flag.Int("n", 256, "matrix order of the gated product")
+	nodes := flag.Int("nodes", 16, "simulated cluster size")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	a := workload.Random(*n, *seed+10)
+	b := workload.Random(*n, *seed+20)
+	measured, err := measure(a, b, *nodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range measured {
+		fmt.Printf("%-14s rho=%d  transferred=%d bytes\n", m.strategy, m.rho, m.bytes)
+	}
+
+	if *write {
+		if err := writeBaseline(*baselinePath, *n, *nodes, *seed, measured); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("baseline written to %s\n", *baselinePath)
+		return
+	}
+
+	baseline, err := readBaseline(*baselinePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	failed := false
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "transfercheck: FAIL: "+format+"\n", args...)
+		failed = true
+	}
+	byStrategy := map[core.MultiplyStrategy]measurement{}
+	for _, m := range measured {
+		byStrategy[m.strategy] = m
+		base, ok := baseline[string(m.strategy)]
+		if !ok {
+			fail("%s: no baseline entry in %s (run with -write to add it)", m.strategy, *baselinePath)
+			continue
+		}
+		limit := int64(float64(base) * tolerance)
+		switch {
+		case m.bytes > limit:
+			fail("%s transferred %d bytes, over baseline %d +5%% (%d)", m.strategy, m.bytes, base, limit)
+		case m.bytes != base:
+			fmt.Printf("%-14s within tolerance: %d bytes vs baseline %d (run -write to ratchet)\n",
+				m.strategy, m.bytes, base)
+		default:
+			fmt.Printf("%-14s matches baseline exactly\n", m.strategy)
+		}
+	}
+	single, repl := byStrategy[core.MultiplySingleRound], byStrategy[core.MultiplyReplicated]
+	if repl.bytes >= single.bytes {
+		fail("replicated (%d bytes) no longer beats single-round (%d bytes) on the gated shape",
+			repl.bytes, single.bytes)
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("transfer gate passed: replicated saves %.1f%% over single-round\n",
+		100*(1-float64(repl.bytes)/float64(single.bytes)))
+}
+
+// measure runs every strategy on a fresh pipeline, checks bit-identity
+// against the sequential segmented reference, and returns the per-run
+// transfer totals.
+func measure(a, b *matrix.Dense, nodes int) ([]measurement, error) {
+	bT := b.Transpose()
+	var out []measurement
+	for _, strategy := range []core.MultiplyStrategy{
+		core.MultiplySingleRound, core.MultiplyReplicated, core.MultiplySpaceRound,
+	} {
+		opts := core.DefaultOptions(nodes)
+		opts.Multiply = strategy
+		p, err := core.NewPipeline(opts)
+		if err != nil {
+			return nil, err
+		}
+		got, rep, err := p.MultiplyWithReport(a, b)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", strategy, err)
+		}
+		ref, err := matrix.MulSegTransB(a, bT, segBounds(a.Cols, rep.Rho))
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range got.Data {
+			if math.Float64bits(v) != math.Float64bits(ref.Data[i]) {
+				return nil, fmt.Errorf("%s: element %d not bit-identical to reference (%g vs %g)",
+					strategy, i, v, ref.Data[i])
+			}
+		}
+		out = append(out, measurement{strategy: strategy, rho: rep.Rho, bytes: rep.TransferredBytes})
+	}
+	return out, nil
+}
+
+// segBounds reproduces the strategies' inner-dimension segmentation so
+// the sequential reference folds partial products in the same order.
+func segBounds(inner, rho int) []int {
+	if rho < 2 {
+		return []int{0, inner}
+	}
+	bounds := make([]int, rho+1)
+	for s := 0; s <= rho; s++ {
+		bounds[s] = s * inner / rho
+	}
+	return bounds
+}
+
+func writeBaseline(path string, n, nodes int, seed int64, measured []measurement) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# Shuffle-bytes baseline for the transfer regression gate (cmd/transfercheck).\n")
+	fmt.Fprintf(&sb, "# Measured on the gated shape: n=%d nodes=%d seed=%d, strict-locality scheduling.\n", n, nodes, seed)
+	fmt.Fprintf(&sb, "# Format: <strategy> <rho> <transferred-bytes>. Regenerate with: go run repro/cmd/transfercheck -write\n")
+	for _, m := range measured {
+		fmt.Fprintf(&sb, "%s %d %d\n", m.strategy, m.rho, m.bytes)
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}
+
+func readBaseline(path string) (map[string]int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]int64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var strategy string
+		var rho int
+		var bytes int64
+		if _, err := fmt.Sscanf(line, "%s %d %d", &strategy, &rho, &bytes); err != nil {
+			return nil, fmt.Errorf("%s: bad baseline line %q: %w", path, line, err)
+		}
+		out[strategy] = bytes
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no baseline entries", path)
+	}
+	return out, nil
+}

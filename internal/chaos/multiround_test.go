@@ -1,0 +1,64 @@
+package chaos
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/mapreduce"
+	"repro/internal/matrix"
+	"repro/internal/workload"
+)
+
+// A multi-round multiply under a one-kill plan must be bit-identical to
+// the clean run: the partial products and round states carry backup
+// replicas under fault injection, recovered mappers re-place their
+// pieces deterministically, and the sum round folds segments in a fixed
+// order regardless of which attempt produced them.
+func TestMultiRoundMultiplyDeterministicUnderKill(t *testing.T) {
+	const n, nodes = 96, 8
+	a := workload.Random(n, 501)
+	b := workload.Random(n, 502)
+
+	run := func(strategy core.MultiplyStrategy, eng *Engine, fs *dfs.FS) *matrix.Dense {
+		t.Helper()
+		opts := core.DefaultOptions(nodes)
+		opts.Multiply = strategy
+		cl := mapreduce.NewCluster(fs, nodes)
+		if eng != nil {
+			cl.Faults = eng
+		}
+		p, err := core.NewPipelineOn(opts, fs, cl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _, err := p.MultiplyWithReport(a, b)
+		if err != nil {
+			t.Fatalf("%s: %v", strategy, err)
+		}
+		return out
+	}
+
+	for _, strategy := range []core.MultiplyStrategy{core.MultiplyReplicated, core.MultiplySpaceRound} {
+		clean := run(strategy, nil, dfs.New(nodes, dfs.DefaultReplication))
+		for seed := int64(1); seed <= 3; seed++ {
+			plan := RandomPlan(seed, PlanConfig{Nodes: nodes, Kills: 1, Horizon: 24, Restart: true})
+			fs := dfs.New(nodes, dfs.DefaultReplication)
+			eng := New(fs, plan)
+			faulty := run(strategy, eng, fs)
+			if faulty.Rows != clean.Rows || faulty.Cols != clean.Cols {
+				t.Fatalf("%s seed %d: shape changed", strategy, seed)
+			}
+			for i, v := range faulty.Data {
+				if math.Float64bits(v) != math.Float64bits(clean.Data[i]) {
+					t.Fatalf("%s seed %d: element %d differs: %g vs %g (plan: %s)",
+						strategy, seed, i, v, clean.Data[i], plan)
+				}
+			}
+			if eng.Stats().Kills == 0 {
+				t.Fatalf("%s seed %d: plan injected no kill", strategy, seed)
+			}
+		}
+	}
+}

@@ -160,6 +160,11 @@ func (st *pipelineState) runLevelJob(node *nodeInput, h int, h1 *luHandle, a2ref
 	nbot := node.n - h
 	dir := node.dir
 	opts := st.opts
+	if pl := planMultiply(opts, nbot, h, nbot); pl.rho >= 2 {
+		// A multi-round strategy routes the B = A4 - L2'U2 product through
+		// the communication-optimal runner instead of the single job.
+		return st.runLevelJobMulti(node, h, h1, a2ref, a3ref, a4ref, pl)
+	}
 
 	// Band layout is deterministic, so the master can precompute the
 	// references the reducers and the next recursion level will read.
@@ -254,56 +259,268 @@ func (st *pipelineState) runLevelJob(node *nodeInput, h int, h1 *luHandle, a2ref
 	return res, nil
 }
 
-// computeL2Band computes rows [lo, hi) of L2' from L2' U1 = A3
+// runLevelJobMulti executes one internal node's level with a multi-round
+// multiply strategy: the mappers of the first round solve the L2' / U2
+// fine bands exactly as runLevelJob's do, but store them as fine band x
+// inner-segment slices placed on their reader nodes, and the runner's
+// rounds compute B = A4 - L2'U2 block by block on the plan's g1 x g2
+// output grid.
+func (st *pipelineState) runLevelJobMulti(node *nodeInput, h int, h1 *luHandle, a2ref, a3ref, a4ref matRef, pl mulPlan) (*levelResult, error) {
+	m0 := st.opts.Nodes
+	mhalf := m0 / 2
+	nbot := node.n - h
+	dir := node.dir
+
+	geom := mulGeom{
+		plan: pl, m0: m0,
+		rows: nbot, inner: h, cols: nbot,
+		root:    dir + "/OUT",
+		durable: st.cluster.Faults != nil,
+	}
+
+	// The factor pieces tile L2' and U2 as fine band x segment slices, so
+	// the next recursion level's region reads and the final inversion see
+	// complete references; U2 slices are always stored transposed so the
+	// accumulation rounds use the Equation 8 row-dot kernel.
+	res := &levelResult{
+		l2: matRef{Rows: nbot, Cols: h},
+		u2: matRef{Rows: h, Cols: nbot},
+	}
+	for b := 0; b < mhalf; b++ {
+		lo, hi := bandBounds(nbot, mhalf, b)
+		if lo == hi {
+			continue
+		}
+		for s := 0; s < pl.rho; s++ {
+			klo, khi := geom.seg(s)
+			if klo == khi {
+				continue
+			}
+			res.l2.Blocks = append(res.l2.Blocks, blockFile{
+				Path: fmt.Sprintf("%s/L2/L.%d.%d", dir, b, s), R0: lo, R1: hi, C0: klo, C1: khi,
+			})
+			res.u2.Blocks = append(res.u2.Blocks, blockFile{
+				Path: fmt.Sprintf("%s/U2/U.%d.%d", dir, b, s), R0: klo, R1: khi, C0: lo, C1: hi,
+				Transposed: true,
+			})
+		}
+	}
+	res.bRef = matRef{Rows: nbot, Cols: nbot}
+	for i := 0; i < pl.g1; i++ {
+		rlo, rhi := geom.rowBand(i)
+		if rlo == rhi {
+			continue
+		}
+		for j := 0; j < pl.g2; j++ {
+			clo, chi := geom.colBand(j)
+			if clo == chi {
+				continue
+			}
+			res.bRef.Blocks = append(res.bRef.Blocks, blockFile{
+				Path: fmt.Sprintf("%s/OUT/A.%d", dir, i*pl.g2+j), R0: rlo, R1: rhi, C0: clo, C1: chi,
+			})
+		}
+	}
+
+	// l2Readers / u2Readers list the nodes reading one fine piece: the
+	// owners of every coarse output band overlapping it (fine bands need
+	// not nest inside coarse bands when mhalf is not a multiple of g1).
+	l2Readers := func(lo, hi, s int) []int {
+		var nodes []int
+		seen := make(map[int]bool)
+		for i := 0; i < pl.g1; i++ {
+			rlo, rhi := geom.rowBand(i)
+			if rhi <= lo || rlo >= hi {
+				continue
+			}
+			for _, nd := range geom.aPieceReaders(i, s) {
+				if !seen[nd] {
+					seen[nd] = true
+					nodes = append(nodes, nd)
+				}
+			}
+		}
+		return nodes
+	}
+	u2Readers := func(lo, hi, s int) []int {
+		var nodes []int
+		seen := make(map[int]bool)
+		for j := 0; j < pl.g2; j++ {
+			clo, chi := geom.colBand(j)
+			if chi <= lo || clo >= hi {
+				continue
+			}
+			for _, nd := range geom.btPieceReaders(j, s) {
+				if !seen[nd] {
+					seen[nd] = true
+					nodes = append(nodes, nd)
+				}
+			}
+		}
+		return nodes
+	}
+	// Pin each band solver onto the first reader of its segment-0 piece so
+	// at least one slice per band is written locally.
+	geom.mapPrefer = func(t int) []int {
+		b, readers := t, l2Readers
+		if t >= mhalf {
+			b, readers = t-mhalf, u2Readers
+		}
+		if lo, hi := bandBounds(nbot, mhalf, b); lo != hi {
+			if nodes := readers(lo, hi, 0); len(nodes) > 0 {
+				return []int{nodes[0]}
+			}
+		}
+		return []int{t % m0}
+	}
+
+	writePieces := func(ctx *mapreduce.TaskContext, t int) error {
+		rd := nodeReader{fs: ctx.FS, node: ctx.Node}
+		if t < mhalf {
+			lo, hi := bandBounds(nbot, mhalf, t)
+			if lo == hi {
+				return nil
+			}
+			band, err := solveL2Band(rd, st, lo, hi, h1, a3ref)
+			if err != nil {
+				return fmt.Errorf("core: L2' mapper %d: %w", t, err)
+			}
+			for s := 0; s < pl.rho; s++ {
+				klo, khi := geom.seg(s)
+				if klo == khi {
+					continue
+				}
+				if err := ctx.FS.WriteMatrixFrom(fmt.Sprintf("%s/L2/L.%d.%d", dir, t, s),
+					band.Block(0, hi-lo, klo, khi), ctx.Node,
+					geom.withBackup(l2Readers(lo, hi, s))); err != nil {
+					return err
+				}
+			}
+			ctx.IncrCounter("l2.elements", int64(hi-lo)*int64(h))
+			return nil
+		}
+		b := t - mhalf
+		lo, hi := bandBounds(nbot, mhalf, b)
+		if lo == hi {
+			return nil
+		}
+		band, err := solveU2Band(rd, st, lo, hi, h1, a2ref)
+		if err != nil {
+			return fmt.Errorf("core: U2 mapper %d: %w", b, err)
+		}
+		bandT := band.Transpose()
+		for s := 0; s < pl.rho; s++ {
+			klo, khi := geom.seg(s)
+			if klo == khi {
+				continue
+			}
+			if err := ctx.FS.WriteMatrixFrom(fmt.Sprintf("%s/U2/U.%d.%d", dir, b, s),
+				bandT.Block(0, hi-lo, klo, khi), ctx.Node,
+				geom.withBackup(u2Readers(lo, hi, s))); err != nil {
+				return err
+			}
+		}
+		ctx.IncrCounter("u2.elements", int64(hi-lo)*int64(h))
+		return nil
+	}
+	readA := func(rd fsReader, i, s int) (*matrix.Dense, error) {
+		rlo, rhi := geom.rowBand(i)
+		klo, khi := geom.seg(s)
+		return readRegion(rd, res.l2, rlo, rhi, klo, khi)
+	}
+	readBT := func(rd fsReader, j, s int) (*matrix.Dense, error) {
+		clo, chi := geom.colBand(j)
+		klo, khi := geom.seg(s)
+		return readRegionTransposed(rd, res.u2, clo, chi, klo, khi)
+	}
+	finish := func(ctx *mapreduce.TaskContext, i, j int, blk *matrix.Dense) error {
+		rlo, rhi := geom.rowBand(i)
+		clo, chi := geom.colBand(j)
+		rd := nodeReader{fs: ctx.FS, node: ctx.Node}
+		a4blk, err := readRegion(rd, a4ref, rlo, rhi, clo, chi)
+		if err != nil {
+			return fmt.Errorf("core: reducer (%d,%d) A4: %w", i, j, err)
+		}
+		if err := matrix.SubInPlace(a4blk, blk); err != nil {
+			return err
+		}
+		ctx.IncrCounter("b.elements", int64(a4blk.Rows)*int64(a4blk.Cols))
+		return ctx.FS.WriteMatrix(fmt.Sprintf("%s/OUT/A.%d", dir, i*pl.g2+j), a4blk)
+	}
+	run := func(job *mapreduce.Job) error {
+		job.Priority = st.opts.Priority
+		job.TraceParent = st.span
+		jr, err := st.cluster.RunCtx(st.runCtx(), job)
+		if err != nil {
+			return err
+		}
+		st.recordJob(jr)
+		return nil
+	}
+	names := mulNames{first: "lu:" + dir, sum: "lu-sum:" + dir, round: "lu-round:" + dir}
+	if err := runMulRounds(geom, names, run, writePieces, readA, readBT, finish); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// solveL2Band computes rows [lo, hi) of L2' from L2' U1 = A3
 // (Equation 6, first line — a row-wise substitution against U1).
+func solveL2Band(rd nodeReader, st *pipelineState, lo, hi int, h1 *luHandle, a3ref matRef) (*matrix.Dense, error) {
+	a3band, err := readRegion(rd, a3ref, lo, hi, 0, a3ref.Cols)
+	if err != nil {
+		return nil, err
+	}
+	if st.opts.TransposeU {
+		ut, err := h1.readUT(rd)
+		if err != nil {
+			return nil, err
+		}
+		return lu.SolveRowsUpperTrans(ut, a3band)
+	}
+	u1, err := h1.readU(rd)
+	if err != nil {
+		return nil, err
+	}
+	return lu.SolveRowsUpper(u1, a3band)
+}
+
+// computeL2Band solves fine band j of L2' and stores it as one file.
 func computeL2Band(rd nodeReader, st *pipelineState, dir string, j, mhalf, nbot int, h1 *luHandle, a3ref matRef) error {
 	lo, hi := bandBounds(nbot, mhalf, j)
 	if lo == hi {
 		return nil
 	}
-	a3band, err := readRegion(rd, a3ref, lo, hi, 0, a3ref.Cols)
+	band, err := solveL2Band(rd, st, lo, hi, h1, a3ref)
 	if err != nil {
 		return fmt.Errorf("core: L2' mapper %d: %w", j, err)
-	}
-	var band *matrix.Dense
-	if st.opts.TransposeU {
-		ut, err := h1.readUT(rd)
-		if err != nil {
-			return err
-		}
-		band, err = lu.SolveRowsUpperTrans(ut, a3band)
-		if err != nil {
-			return fmt.Errorf("core: L2' mapper %d: %w", j, err)
-		}
-	} else {
-		u1, err := h1.readU(rd)
-		if err != nil {
-			return err
-		}
-		band, err = lu.SolveRowsUpper(u1, a3band)
-		if err != nil {
-			return fmt.Errorf("core: L2' mapper %d: %w", j, err)
-		}
 	}
 	return st.fs.WriteMatrix(fmt.Sprintf("%s/L2/L.%d", dir, j), band)
 }
 
-// computeU2Band computes columns [lo, hi) of U2 from L1 U2 = P1 A2
-// (Equation 6, second line — forward substitution with unit L1).
+// solveU2Band computes columns [lo, hi) of U2 from L1 U2 = P1 A2
+// (Equation 6, second line — forward substitution with unit L1),
+// returned in natural (untransposed) orientation.
+func solveU2Band(rd nodeReader, st *pipelineState, lo, hi int, h1 *luHandle, a2ref matRef) (*matrix.Dense, error) {
+	a2band, err := readRegion(rd, a2ref, 0, a2ref.Rows, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	l1, err := h1.readL(rd)
+	if err != nil {
+		return nil, err
+	}
+	return lu.ForwardSubstMatrix(l1, h1.p.ApplyRows(a2band), true)
+}
+
+// computeU2Band solves fine band j of U2 and stores it as one file,
+// transposed under the Section 6.3 optimization.
 func computeU2Band(rd nodeReader, st *pipelineState, dir string, j, mhalf, nbot int, h1 *luHandle, a2ref matRef) error {
 	lo, hi := bandBounds(nbot, mhalf, j)
 	if lo == hi {
 		return nil
 	}
-	a2band, err := readRegion(rd, a2ref, 0, a2ref.Rows, lo, hi)
-	if err != nil {
-		return fmt.Errorf("core: U2 mapper %d: %w", j, err)
-	}
-	l1, err := h1.readL(rd)
-	if err != nil {
-		return err
-	}
-	band, err := lu.ForwardSubstMatrix(l1, h1.p.ApplyRows(a2band), true)
+	band, err := solveU2Band(rd, st, lo, hi, h1, a2ref)
 	if err != nil {
 		return fmt.Errorf("core: U2 mapper %d: %w", j, err)
 	}
@@ -334,7 +551,7 @@ func computeBBlock(rd nodeReader, st *pipelineState, dir string, r, f1, f2, nbot
 	if st.opts.TransposeU {
 		// Read the needed U2 columns in transposed orientation and use the
 		// Equation 8 row-dot kernel (Section 6.3).
-		u2t, err := readRegionTransposed(rd, res.u2, clo, chi)
+		u2t, err := readRegionTransposed(rd, res.u2, clo, chi, 0, res.u2.Rows)
 		if err != nil {
 			return fmt.Errorf("core: reducer %d U2^T: %w", r, err)
 		}
@@ -359,10 +576,13 @@ func computeBBlock(rd nodeReader, st *pipelineState, dir string, r, f1, f2, nbot
 	return st.fs.WriteMatrix(fmt.Sprintf("%s/OUT/A.%d", dir, r), a4blk)
 }
 
-// readRegionTransposed reads columns [clo, chi) of a U2 reference whose
-// files are stored transposed, returning them as rows without ever
-// materializing the normal orientation.
-func readRegionTransposed(rd fsReader, u2 matRef, clo, chi int) (*matrix.Dense, error) {
+// readRegionTransposed reads the region covering rows [clo, chi) and
+// columns [klo, khi) of the transpose of a U2 reference whose files are
+// stored transposed, without ever materializing the normal orientation.
+// In the transposed frame rows index U2's columns and columns index U2's
+// rows, so the multi-round segment reads pass the inner-dimension
+// segment as [klo, khi).
+func readRegionTransposed(rd fsReader, u2 matRef, clo, chi, klo, khi int) (*matrix.Dense, error) {
 	// Build the transposed frame: file covering cols [C0, C1) of U2 holds
 	// rows [C0, C1) of U2^T.
 	t := matRef{Rows: u2.Cols, Cols: u2.Rows}
@@ -370,7 +590,7 @@ func readRegionTransposed(rd fsReader, u2 matRef, clo, chi int) (*matrix.Dense, 
 		if !b.Transposed {
 			// Mixed orientation should not happen; fall back to the
 			// normal path by transposing after read.
-			normal, err := readRegion(rd, u2, 0, u2.Rows, clo, chi)
+			normal, err := readRegion(rd, u2, klo, khi, clo, chi)
 			if err != nil {
 				return nil, err
 			}
@@ -378,7 +598,7 @@ func readRegionTransposed(rd fsReader, u2 matRef, clo, chi int) (*matrix.Dense, 
 		}
 		t.Blocks = append(t.Blocks, blockFile{Path: b.Path, R0: b.C0, R1: b.C1, C0: b.R0, C1: b.R1})
 	}
-	return readRegion(rd, t, clo, chi, 0, t.Cols)
+	return readRegion(rd, t, clo, chi, klo, khi)
 }
 
 // readUT assembles U^T for a handle, used by the transposed solve kernel.

@@ -18,110 +18,99 @@ import (
 //     system application without ever forming A^-1 (2n^2 work per right
 //     hand side instead of the n^3 inversion).
 
-// Multiply computes C = A * B with one MapReduce job. A map-only prologue
-// inside the job's mappers stores A as f1 row bands and B as f2
-// transposed column bands; reducer r computes block (r/f2, r%f2) of C by
-// the block-wrap rule, reading n^2 (1/f1 + 1/f2) elements instead of the
-// naive (1 + 1/m0) n^2 (Section 6.2).
+// Multiply computes C = A * B with the strategy selected by
+// Opts.Multiply. The default single-round strategy runs one MapReduce
+// job: a map-only prologue stores A as g1 row bands and B as g2
+// transposed column bands, and reducer r computes block (r/g2, r%g2) of
+// C by the block-wrap rule, reading n^2 (1/g1 + 1/g2) elements instead
+// of the naive (1 + 1/m0) n^2 (Section 6.2). The multi-round strategies
+// (see MultiplyStrategy) trade extra rounds for less shuffle traffic or
+// less per-reducer memory; MultiplyWithReport exposes the measured
+// transfer accounting the CI gate compares.
 func (p *Pipeline) Multiply(a, b *matrix.Dense) (*matrix.Dense, error) {
+	out, _, err := p.MultiplyWithReport(a, b)
+	return out, err
+}
+
+// MultiplyWithReport computes C = A * B like Multiply and also returns
+// the per-strategy execution report: jobs launched, shuffled pairs, and
+// the DFS byte accounting (in particular TransferredBytes, the
+// cross-node traffic the multi-round strategies exist to shrink).
+func (p *Pipeline) MultiplyWithReport(a, b *matrix.Dense) (*matrix.Dense, *MultiplyReport, error) {
 	if a.Cols != b.Rows {
-		return nil, fmt.Errorf("core: Multiply: %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+		return nil, nil, fmt.Errorf("core: Multiply: %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
 	p.attachObs()
+	pl := planMultiply(p.Opts, a.Rows, a.Cols, b.Cols)
 	span := p.Tracer.StartSpan("pipeline.multiply", obs.KindPipeline)
+	span.SetLabel("multiply.strategy", string(pl.strategy))
+	span.SetAttr("multiply.rho", int64(pl.rho))
 	defer span.Finish()
-	m0 := p.Opts.Nodes
-	f1, f2 := FactorPair(m0)
-	if !p.Opts.BlockWrap {
-		f1, f2 = m0, 1
-	}
-	root := p.Opts.Root + "/MUL"
-	p.FS.DeleteTree(root)
 
-	job := &mapreduce.Job{
-		Name:      "multiply",
-		Splits:    mapreduce.ControlSplits(m0),
-		NumReduce: m0,
-		Priority:  p.Opts.Priority,
-		Partition: func(key string, n int) int {
-			var v int
-			fmt.Sscanf(key, "%d", &v)
-			return v % n
-		},
-		Map: func(ctx *mapreduce.TaskContext, split mapreduce.InputSplit, emit mapreduce.Emitter) error {
-			j := split.ID
-			// Mapper j stores row band j of A (j < f1) and transposed
-			// column band j of B (j < f2) — the Section 6.3 orientation
-			// so the reducers' inner products walk rows. With f1*f2 = m0
-			// every band has a writer and no file has two.
-			if j < f1 {
-				lo, hi := bandBounds(a.Rows, f1, j)
-				if lo != hi {
-					if err := ctx.FS.WriteMatrix(fmt.Sprintf("%s/A.%d", root, j), a.Block(lo, hi, 0, a.Cols)); err != nil {
-						return err
-					}
-				}
-			}
-			if j < f2 {
-				lo, hi := bandBounds(b.Cols, f2, j)
-				if lo != hi {
-					if err := ctx.FS.WriteMatrix(fmt.Sprintf("%s/BT.%d", root, j), b.Block(0, b.Rows, lo, hi).Transpose()); err != nil {
-						return err
-					}
-				}
-			}
-			emit.Emit(fmt.Sprintf("%d", j), nil)
-			return nil
-		},
-		Reduce: func(ctx *mapreduce.TaskContext, key string, values [][]byte, emit mapreduce.Emitter) error {
-			var r int
-			if _, err := fmt.Sscanf(key, "%d", &r); err != nil {
-				return err
-			}
-			rg, cg := r/f2, r%f2
-			rlo, rhi := bandBounds(a.Rows, f1, rg)
-			clo, chi := bandBounds(b.Cols, f2, cg)
-			if rlo == rhi || clo == chi {
-				return nil
-			}
-			rd := nodeReader{fs: ctx.FS, node: ctx.Node}
-			aband, err := rd.readMatrix(fmt.Sprintf("%s/A.%d", root, rg))
-			if err != nil {
-				return err
-			}
-			btband, err := rd.readMatrix(fmt.Sprintf("%s/BT.%d", root, cg))
-			if err != nil {
-				return err
-			}
-			blk, err := matrix.MulTransB(aband, btband)
-			if err != nil {
-				return err
-			}
-			ctx.IncrCounter("mul.elements", int64(blk.Rows)*int64(blk.Cols))
-			return ctx.FS.WriteMatrix(fmt.Sprintf("%s/C.%d", root, r), blk)
-		},
+	geom := mulGeom{
+		plan: pl,
+		m0:   p.Opts.Nodes,
+		rows: a.Rows, inner: a.Cols, cols: b.Cols,
+		root:    p.Opts.Root + "/MUL",
+		durable: p.Cluster.Faults != nil,
 	}
-	job.TraceParent = span
-	if _, err := p.Cluster.Run(job); err != nil {
-		return nil, err
+	p.FS.DeleteTree(geom.root)
+
+	rep := &MultiplyReport{Strategy: pl.strategy, Rho: pl.rho, Grid: [2]int{pl.g1, pl.g2}}
+	run := func(job *mapreduce.Job) error {
+		job.Priority = p.Opts.Priority
+		job.TraceParent = span
+		jr, err := p.Cluster.Run(job)
+		if err != nil {
+			return err
+		}
+		rep.absorb(jr)
+		return nil
+	}
+	finish := func(ctx *mapreduce.TaskContext, i, j int, blk *matrix.Dense) error {
+		ctx.IncrCounter("mul.elements", int64(blk.Rows)*int64(blk.Cols))
+		return ctx.FS.WriteMatrix(geom.outPath(i, j), blk)
+	}
+	readA, readBT := filePieceReaders(geom)
+	names := mulNames{first: "multiply", sum: "multiply-sum", round: "multiply-round"}
+	if err := runMulRounds(geom, names, run, inMemoryPieces(a, b, geom), readA, readBT, finish); err != nil {
+		return nil, nil, err
 	}
 
 	out := matrix.New(a.Rows, b.Cols)
 	rd := masterReader(p.FS)
-	for r := 0; r < m0; r++ {
-		rg, cg := r/f2, r%f2
-		rlo, rhi := bandBounds(a.Rows, f1, rg)
-		clo, chi := bandBounds(b.Cols, f2, cg)
-		if rlo == rhi || clo == chi {
+	for i := 0; i < pl.g1; i++ {
+		rlo, rhi := geom.rowBand(i)
+		if rlo == rhi {
 			continue
 		}
-		blk, err := rd.readMatrix(fmt.Sprintf("%s/C.%d", root, r))
-		if err != nil {
-			return nil, err
+		for j := 0; j < pl.g2; j++ {
+			clo, chi := geom.colBand(j)
+			if clo == chi {
+				continue
+			}
+			blk, err := rd.readMatrix(geom.outPath(i, j))
+			if err != nil {
+				return nil, nil, err
+			}
+			out.SetBlock(rlo, clo, blk)
 		}
-		out.SetBlock(rlo, clo, blk)
 	}
-	return out, nil
+	span.SetAttr("multiply.bytes_transferred", rep.TransferredBytes)
+	span.SetAttr("multiply.jobs", int64(rep.Jobs))
+	if p.Metrics != nil {
+		p.Metrics.Counter("multiply.jobs").Add(int64(rep.Jobs))
+		p.Metrics.Counter("multiply.bytes_transferred").Add(rep.TransferredBytes)
+		switch pl.strategy {
+		case MultiplyReplicated:
+			p.Metrics.Counter("multiply.replicated").Add(1)
+		case MultiplySpaceRound:
+			p.Metrics.Counter("multiply.space_round").Add(1)
+		default:
+			p.Metrics.Counter("multiply.single_round").Add(1)
+		}
+	}
+	return out, rep, nil
 }
 
 // Solve computes X with A X = B through the decomposition pipeline: the

@@ -29,6 +29,33 @@ import (
 // at small orders.
 const DefaultNB = 512
 
+// MultiplyStrategy selects how the pipeline's distributed matrix
+// products are executed.
+type MultiplyStrategy string
+
+const (
+	// MultiplySingleRound is the paper's Section 6.2 single-round
+	// block-wrap product: one job, each reducer reads a full row band of
+	// A and column band of B. The zero value of the option.
+	MultiplySingleRound MultiplyStrategy = "single-round"
+	// MultiplyReplicated is the replication-parameter multi-round product
+	// of Ceccarello & Silvestri: the m0 reducers form a g1 x g2 x rho
+	// grid over rho inner-dimension segments, compute partial products in
+	// one round, and a deterministic sum round folds the rho partials of
+	// each output block in ascending segment order. Cutting the reader
+	// fan-out of every input piece from f2 (resp. f1) nodes to g2 (resp.
+	// g1) is what makes the strategy communication-optimal: transfer
+	// drops from (f1+f2-2) n^2 elements to (g1+g2+rho-3) n^2.
+	MultiplyReplicated MultiplyStrategy = "replicated"
+	// MultiplySpaceRound is the space-round tradeoff of Pietracaprina et
+	// al.: the f1 x f2 reducer grid is kept, but each reducer streams the
+	// inner dimension in rho rounds, accumulating C += A_s B_s into a
+	// locally persisted state block. Transfer matches single-round while
+	// per-reducer memory drops by a factor of rho; MultiplyMemory derives
+	// rho from a byte budget.
+	MultiplySpaceRound MultiplyStrategy = "space-round"
+)
+
 // Options configures the inversion pipeline.
 type Options struct {
 	// NB is the bound value n_b: submatrices of order <= NB are
@@ -67,6 +94,24 @@ type Options struct {
 	// granted slots first; equal priorities share round-robin. Zero is
 	// the default class.
 	Priority int
+	// Multiply selects the strategy for the pipeline's distributed
+	// products: Pipeline.Multiply and the B = A4 - L2'U2 step of every
+	// block-LU level. The empty value means MultiplySingleRound.
+	// costmodel.ChooseMultiply picks a strategy and rho from matrix size,
+	// node count and per-node memory, the way ChooseEngine picks engines.
+	Multiply MultiplyStrategy
+	// MultiplyRho is the replication / round parameter rho of the
+	// multi-round strategies. Zero derives it: for MultiplyReplicated the
+	// divisor of Nodes minimizing modeled transfer, for MultiplySpaceRound
+	// the round count implied by MultiplyMemory (or 2 when unset). The
+	// effective rho is clamped to the product's inner dimension; rho = 1
+	// degenerates to the single-round shape.
+	MultiplyRho int
+	// MultiplyMemory caps the per-reducer operand bytes of the
+	// space-round strategy; the round count becomes the smallest rho that
+	// fits the per-round working set (segment of A + segment of B +
+	// output block) under the cap. Zero means uncapped.
+	MultiplyMemory int64
 }
 
 // DefaultOptions returns the paper's optimized configuration on m0 nodes.
@@ -103,6 +148,14 @@ func (o *Options) Validate() error {
 	}
 	if o.Root == "" {
 		o.Root = "Root"
+	}
+	switch o.Multiply {
+	case "", MultiplySingleRound, MultiplyReplicated, MultiplySpaceRound:
+	default:
+		return fmt.Errorf("core: multiply strategy %q: %w", o.Multiply, ErrBadOptions)
+	}
+	if o.MultiplyRho < 0 || o.MultiplyMemory < 0 {
+		return fmt.Errorf("core: multiply rho %d / memory %d: %w", o.MultiplyRho, o.MultiplyMemory, ErrBadOptions)
 	}
 	return nil
 }

@@ -111,7 +111,7 @@ func (hd *luHandle) readUTRows(rd fsReader, r0, r1 int) (*matrix.Dense, error) {
 	if r1 > h {
 		blo, bhi := maxIntc(r0, h)-h, r1-h
 		// Rows of U^T below h are columns blo..bhi of U2 alongside rows of U3^T.
-		u2t, err := readRegionTransposed(rd, hd.u2, blo, bhi)
+		u2t, err := readRegionTransposed(rd, hd.u2, blo, bhi, 0, hd.u2.Rows)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,186 @@
+package costmodel
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Multiply-strategy selection: the rounds-vs-memory-vs-communication
+// model behind core's multi-round multiplication strategies, mirroring
+// ChooseEngine. The transfer coefficients come from the explicit-
+// placement accounting the strategies implement:
+//
+//	single-round on an f1 x f2 grid:  (f1 + f2) n^2 elements
+//	replicated on g1 x g2 x rho:      (g1 + g2 + rho - 1) n^2
+//	space-round on f1 x f2, rho rounds: matches single-round, but the
+//	    per-reducer working set shrinks by a factor of rho
+//
+// (both including the output's pipelined replication), so the replicated
+// strategy wins communication whenever g1 + g2 + rho < f1 + f2 + 1 — the
+// 3D grid optimum near 3 m0^(1/3) — while every extra round costs one
+// more job launch.
+
+// MultiplyChoice is the outcome of multiply-strategy selection.
+type MultiplyChoice struct {
+	Strategy core.MultiplyStrategy
+	// Rho is the replication / round parameter to set as
+	// core.Options.MultiplyRho (0 for single-round).
+	Rho    int
+	Grid   [2]int
+	Reason string
+	// Predicted holds the modeled wall-clock time per candidate strategy.
+	Predicted map[core.MultiplyStrategy]time.Duration
+	// TransferElems is the modeled element transfer of the chosen
+	// strategy; ReducerBytes its per-reducer working set.
+	TransferElems float64
+	ReducerBytes  float64
+}
+
+// multiplyCandidate is one (strategy, rho) point of the model.
+type multiplyCandidate struct {
+	strategy core.MultiplyStrategy
+	g1, g2   int
+	rho      int
+}
+
+// transferElems models the total transferred elements of a rows x inner
+// by inner x cols product under the candidate's grid, including writing
+// the output at replication 3 (two pipelined copies cross the network).
+func (mc multiplyCandidate) transferElems(rows, inner, cols int) float64 {
+	aIn := float64(rows) * float64(inner)
+	bIn := float64(inner) * float64(cols)
+	out := float64(rows) * float64(cols)
+	switch mc.strategy {
+	case core.MultiplyReplicated:
+		// Each A piece fans to g2 readers (one local), each B piece to g1;
+		// each output block's rho partials converge on their sum node
+		// (rho - 1 crossings) and the result is written at replication 3.
+		return aIn*float64(mc.g2-1) + bIn*float64(mc.g1-1) + out*float64(mc.rho-1) + 2*out
+	default:
+		// Single-round and space-round: A bands fan to g2 readers, B bands
+		// to g1; space-round's inter-round state stays on its own node.
+		return aIn*float64(mc.g2-1) + bIn*float64(mc.g1-1) + 2*out
+	}
+}
+
+// reducerBytes models the peak per-reducer working set: one round's A and
+// B segments plus the output block.
+func (mc multiplyCandidate) reducerBytes(rows, inner, cols int) float64 {
+	segInner := float64(inner) / float64(mc.rho)
+	aSeg := float64(rows) / float64(mc.g1) * segInner
+	bSeg := segInner * float64(cols) / float64(mc.g2)
+	out := float64(rows) * float64(cols) / float64(mc.g1*mc.g2)
+	return (aSeg + bSeg + out) * bytesPerElem
+}
+
+func (mc multiplyCandidate) jobs() int {
+	switch mc.strategy {
+	case core.MultiplyReplicated:
+		return 2
+	case core.MultiplySpaceRound:
+		return mc.rho
+	default:
+		return 1
+	}
+}
+
+// time models the candidate's wall clock on cluster c: job launches plus
+// network transfer plus the (strategy-independent) compute.
+func (mc multiplyCandidate) time(c Cluster, rows, inner, cols int) time.Duration {
+	launchS := float64(mc.jobs()) * c.JobLaunch.Seconds()
+	netS := mc.transferElems(rows, inner, cols) * bytesPerElem / (float64(c.Nodes) * c.Node.NetBW)
+	flops := 2 * float64(rows) * float64(inner) * float64(cols)
+	computeS := flops / (float64(c.Nodes*c.Node.Cores) * c.Node.Flops)
+	return secs(launchS + netS + computeS)
+}
+
+// ChooseMultiply picks the multiply strategy and rho for a rows x inner
+// by inner x cols product on cluster c, the way ChooseEngine picks
+// engines: enumerate the feasible candidates, model their time, and take
+// the fastest. memBudget, when > 0, caps the per-reducer working set in
+// bytes; candidates over budget are infeasible, and when even the
+// single-round shape exceeds it the space-round strategy with the
+// smallest fitting rho is selected regardless of speed.
+func ChooseMultiply(c Cluster, rows, inner, cols int, memBudget float64) MultiplyChoice {
+	m0 := c.Nodes
+	f1, f2 := core.FactorPair(m0)
+	single := multiplyCandidate{strategy: core.MultiplySingleRound, g1: f1, g2: f2, rho: 1}
+
+	cands := []multiplyCandidate{single}
+	for rho := 2; rho <= m0 && rho <= inner; rho++ {
+		if m0%rho != 0 {
+			continue
+		}
+		g1, g2 := core.FactorPair(m0 / rho)
+		cands = append(cands, multiplyCandidate{strategy: core.MultiplyReplicated, g1: g1, g2: g2, rho: rho})
+	}
+	for rho := 2; rho <= 64 && rho <= inner; rho *= 2 {
+		cands = append(cands, multiplyCandidate{strategy: core.MultiplySpaceRound, g1: f1, g2: f2, rho: rho})
+	}
+
+	pred := map[core.MultiplyStrategy]time.Duration{}
+	var best *multiplyCandidate
+	var bestT time.Duration
+	for i := range cands {
+		mc := cands[i]
+		if memBudget > 0 && mc.reducerBytes(rows, inner, cols) > memBudget {
+			continue
+		}
+		t := mc.time(c, rows, inner, cols)
+		if cur, ok := pred[mc.strategy]; !ok || t < cur {
+			pred[mc.strategy] = t
+		}
+		if best == nil || t < bestT {
+			best, bestT = &cands[i], t
+		}
+	}
+	if best == nil {
+		// Nothing fits the budget: pick the space-round rho whose working
+		// set comes closest (the strategy exists exactly for this case).
+		sr := multiplyCandidate{strategy: core.MultiplySpaceRound, g1: f1, g2: f2, rho: min(inner, 64)}
+		for rho := 2; rho <= 64 && rho <= inner; rho *= 2 {
+			mc := multiplyCandidate{strategy: core.MultiplySpaceRound, g1: f1, g2: f2, rho: rho}
+			if mc.reducerBytes(rows, inner, cols) <= memBudget {
+				sr = mc
+				break
+			}
+		}
+		best, bestT = &sr, sr.time(c, rows, inner, cols)
+		pred[sr.strategy] = bestT
+	}
+
+	choice := MultiplyChoice{
+		Strategy:      best.strategy,
+		Grid:          [2]int{best.g1, best.g2},
+		Predicted:     pred,
+		TransferElems: best.transferElems(rows, inner, cols),
+		ReducerBytes:  best.reducerBytes(rows, inner, cols),
+	}
+	if best.strategy != core.MultiplySingleRound {
+		choice.Rho = best.rho
+	}
+	switch best.strategy {
+	case core.MultiplyReplicated:
+		choice.Reason = fmt.Sprintf(
+			"replicated %dx%dx%d grid cuts transfer to %.0f%% of single-round; saving exceeds the extra job launch",
+			best.g1, best.g2, best.rho,
+			100*best.transferElems(rows, inner, cols)/single.transferElems(rows, inner, cols))
+	case core.MultiplySpaceRound:
+		choice.Reason = fmt.Sprintf(
+			"space-round with rho=%d fits the %.0f MB reducer budget (single-round needs %.0f MB)",
+			best.rho, memBudget/1e6, single.reducerBytes(rows, inner, cols)/1e6)
+	default:
+		choice.Reason = fmt.Sprintf(
+			"single round is fastest: transfer saving of multi-round (%s predicted) does not repay an extra job launch",
+			FormatDuration(pred[core.MultiplySingleRound]))
+	}
+	return choice
+}
+
+// Apply copies the choice into pipeline options.
+func (mc MultiplyChoice) Apply(opts *core.Options) {
+	opts.Multiply = mc.Strategy
+	opts.MultiplyRho = mc.Rho
+}

@@ -1,0 +1,110 @@
+package costmodel
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// At paper scale the transfer saving dwarfs the extra job launch, so the
+// model must select the replicated strategy automatically; at laptop
+// scale the 30 s launch dominates and single-round must win.
+func TestChooseMultiplySelectsByScale(t *testing.T) {
+	c := NewCluster(Medium, 64)
+	big := ChooseMultiply(c, 102400, 102400, 102400, 0)
+	if big.Strategy != core.MultiplyReplicated {
+		t.Fatalf("n=102400: chose %s (%s), want replicated", big.Strategy, big.Reason)
+	}
+	if big.Rho < 2 || 64%big.Rho != 0 {
+		t.Fatalf("n=102400: rho = %d", big.Rho)
+	}
+	small := ChooseMultiply(c, 2048, 2048, 2048, 0)
+	if small.Strategy != core.MultiplySingleRound {
+		t.Fatalf("n=2048: chose %s (%s), want single-round", small.Strategy, small.Reason)
+	}
+	if small.Rho != 0 {
+		t.Fatalf("n=2048: rho = %d, want 0", small.Rho)
+	}
+	// Predictions cover the compared strategies.
+	if _, ok := big.Predicted[core.MultiplySingleRound]; !ok {
+		t.Fatal("no single-round prediction at big n")
+	}
+	if big.Predicted[core.MultiplyReplicated] >= big.Predicted[core.MultiplySingleRound] {
+		t.Fatal("replicated chosen but predicted slower")
+	}
+}
+
+// A tight per-reducer memory budget forces the space-round strategy with
+// a rho whose working set fits.
+func TestChooseMultiplyMemoryBudget(t *testing.T) {
+	c := NewCluster(Medium, 16)
+	const n = 40960
+	unbounded := ChooseMultiply(c, n, n, n, 0)
+	full := multiplyCandidate{strategy: core.MultiplySingleRound, g1: 8, g2: 2, rho: 1}.
+		reducerBytes(n, n, n)
+	choice := ChooseMultiply(c, n, n, n, full/3)
+	if choice.Strategy != core.MultiplySpaceRound {
+		t.Fatalf("budget %0.f: chose %s (%s), want space-round", full/3, choice.Strategy, choice.Reason)
+	}
+	if choice.Rho < 2 {
+		t.Fatalf("rho = %d", choice.Rho)
+	}
+	if choice.ReducerBytes > full/3 {
+		t.Fatalf("working set %.0f over budget %.0f", choice.ReducerBytes, full/3)
+	}
+	_ = unbounded
+}
+
+// The modeled transfer of the replicated grid must be strictly below the
+// single-round coefficient whenever g1+g2+rho-1 < f1+f2 — the inequality
+// the CI gate measures for real.
+func TestMultiplyCandidateTransferModel(t *testing.T) {
+	const n = 4096
+	single := multiplyCandidate{strategy: core.MultiplySingleRound, g1: 4, g2: 4, rho: 1}
+	repl := multiplyCandidate{strategy: core.MultiplyReplicated, g1: 2, g2: 2, rho: 4}
+	s := single.transferElems(n, n, n)
+	r := repl.transferElems(n, n, n)
+	n2 := float64(n) * float64(n)
+	if s != 8*n2 {
+		t.Fatalf("single-round transfer = %.0f n^2, want 8 n^2", s/n2)
+	}
+	if r != 7*n2 {
+		t.Fatalf("replicated transfer = %.0f n^2, want 7 n^2", r/n2)
+	}
+	// Space-round halves the reducer working set at rho=2 (minus the
+	// fixed output block).
+	sr := multiplyCandidate{strategy: core.MultiplySpaceRound, g1: 4, g2: 4, rho: 2}
+	if sr.reducerBytes(n, n, n) >= single.reducerBytes(n, n, n) {
+		t.Fatal("space-round does not shrink the working set")
+	}
+	if sr.transferElems(n, n, n) != s {
+		t.Fatal("space-round transfer should match single-round")
+	}
+}
+
+func TestMultiplyChoiceApply(t *testing.T) {
+	opts := core.DefaultOptions(64)
+	ChooseMultiply(NewCluster(Medium, 64), 102400, 102400, 102400, 0).Apply(&opts)
+	if opts.Multiply != core.MultiplyReplicated || opts.MultiplyRho < 2 {
+		t.Fatalf("applied opts: %s rho=%d", opts.Multiply, opts.MultiplyRho)
+	}
+	if err := opts.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// When no candidate fits the budget at all, the fallback still returns a
+// space-round plan with the deepest feasible rho rather than failing.
+func TestChooseMultiplyImpossibleBudget(t *testing.T) {
+	c := NewCluster(Medium, 16)
+	choice := ChooseMultiply(c, 4096, 4096, 4096, 1)
+	if choice.Strategy != core.MultiplySpaceRound {
+		t.Fatalf("impossible budget: chose %s, want space-round", choice.Strategy)
+	}
+	if choice.Rho != 64 {
+		t.Fatalf("impossible budget: rho = %d, want 64", choice.Rho)
+	}
+	if choice.Reason == "" || choice.Predicted[core.MultiplySpaceRound] == 0 {
+		t.Fatal("fallback missing reason or prediction")
+	}
+}

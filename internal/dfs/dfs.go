@@ -269,6 +269,73 @@ func (fs *FS) Write(path string, data []byte) {
 	fs.metrics.bytesTransferred.Add(int64(len(data) * (len(f.replicas) - 1)))
 }
 
+// WriteFrom stores data at path with an explicit replica placement —
+// HDFS's favored-nodes write path. The file's replicas land exactly on
+// the requested nodes (deduplicated, dead nodes skipped, falling back to
+// round-robin placement when none survive). writer is the datanode
+// producing the bytes (-1 for the master): every replica on a node other
+// than the writer is charged as network transfer, so placing replicas on
+// the nodes that will read the file converts read-side shuffle into the
+// one-time pipelined copy the write already pays for. Unlike Write, a
+// rewrite re-places the file on the requested nodes, keeping layouts
+// deterministic across task retries.
+func (fs *FS) WriteFrom(path string, data []byte, writer int, nodes []int) {
+	path = Clean(path)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var reps []int
+	for _, n := range nodes {
+		if n < 0 || n >= fs.nodes || !fs.alive[n] {
+			continue
+		}
+		dup := false
+		for _, r := range reps {
+			if r == n {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			reps = append(reps, n)
+		}
+	}
+	if len(reps) == 0 {
+		reps = fs.placeLocked()
+	}
+	f, ok := fs.files[path]
+	if !ok {
+		f = &file{}
+		fs.files[path] = f
+		fs.stats.FilesCreated++
+	}
+	f.replicas = reps
+	f.copies = make([][]byte, len(reps))
+	for i := range f.copies {
+		f.copies[i] = append([]byte(nil), data...)
+	}
+	f.sum = crc32.ChecksumIEEE(data)
+	f.writes++
+	transfers := len(reps) - 1
+	if writer >= 0 {
+		transfers = 0
+		for _, r := range reps {
+			if r != writer {
+				transfers++
+			}
+		}
+	}
+	fs.stats.WriteOps++
+	fs.stats.BytesWritten += int64(len(data))
+	fs.stats.BytesReplicated += int64(len(data) * len(reps))
+	fs.stats.BytesTransferred += int64(len(data) * transfers)
+	for _, r := range reps {
+		fs.nodeWritten[r] += int64(len(data))
+	}
+	fs.metrics.writeOps.Add(1)
+	fs.metrics.bytesWritten.Add(int64(len(data)))
+	fs.metrics.bytesTransferred.Add(int64(len(data) * transfers))
+}
+
 // placeLocked chooses replica nodes for a new file round-robin over the
 // live datanodes, never placing two replicas of one file on the same node
 // and never on a dead one. The replica count is capped at the live node

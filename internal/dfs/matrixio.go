@@ -20,6 +20,18 @@ func (fs *FS) WriteMatrix(path string, m *matrix.Dense) error {
 	return nil
 }
 
+// WriteMatrixFrom stores m at path with an explicit replica placement
+// (see WriteFrom): writer is the producing datanode (-1 for the master)
+// and nodes the favored replica holders.
+func (fs *FS) WriteMatrixFrom(path string, m *matrix.Dense, writer int, nodes []int) error {
+	var buf bytes.Buffer
+	if err := matrix.WriteBinary(&buf, m); err != nil {
+		return fmt.Errorf("dfs: WriteMatrixFrom %s: %w", path, err)
+	}
+	fs.WriteFrom(path, buf.Bytes(), writer, nodes)
+	return nil
+}
+
 // ReadMatrix loads the matrix stored at path.
 func (fs *FS) ReadMatrix(path string) (*matrix.Dense, error) {
 	data, err := fs.Read(path)

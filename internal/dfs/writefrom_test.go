@@ -1,0 +1,120 @@
+package dfs
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestWriteFromPlacesOnRequestedNodes(t *testing.T) {
+	fs := New(8, 3)
+	fs.WriteFrom("p", []byte("data"), 2, []int{2, 5, 5, 7})
+	reps, err := fs.Replicas("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 3 || reps[0] != 2 || reps[1] != 5 || reps[2] != 7 {
+		t.Fatalf("replicas = %v, want [2 5 7] (deduplicated, in order)", reps)
+	}
+	got, err := fs.Read("p")
+	if err != nil || string(got) != "data" {
+		t.Fatalf("Read = %q, %v", got, err)
+	}
+}
+
+func TestWriteFromTransferAccounting(t *testing.T) {
+	data := make([]byte, 1000)
+	// Writer among the replicas: only the other copies cross the network.
+	fs := New(8, 3)
+	fs.WriteFrom("a", data, 1, []int{1, 2, 3})
+	if tr := fs.Stats().BytesTransferred; tr != 2000 {
+		t.Fatalf("writer-local transfer = %d, want 2000", tr)
+	}
+	// Writer elsewhere: every copy crosses.
+	fs.ResetStats()
+	fs.WriteFrom("b", data, 0, []int{1, 2})
+	if tr := fs.Stats().BytesTransferred; tr != 2000 {
+		t.Fatalf("writer-remote transfer = %d, want 2000", tr)
+	}
+	// Master writer (-1): pipeline accounting, first copy free.
+	fs.ResetStats()
+	fs.WriteFrom("c", data, -1, []int{1, 2, 3})
+	if tr := fs.Stats().BytesTransferred; tr != 2000 {
+		t.Fatalf("master-writer transfer = %d, want 2000", tr)
+	}
+	// A reader on a replica node then reads for free.
+	fs.ResetStats()
+	if _, err := fs.ReadFrom("a", 2); err != nil {
+		t.Fatal(err)
+	}
+	if tr := fs.Stats().BytesTransferred; tr != 0 {
+		t.Fatalf("replica-local read transferred %d bytes", tr)
+	}
+}
+
+func TestWriteFromRewriteReplaces(t *testing.T) {
+	fs := New(8, 3)
+	fs.WriteFrom("p", []byte("one"), 0, []int{0, 1})
+	fs.WriteFrom("p", []byte("two"), 4, []int{4, 5})
+	reps, err := fs.Replicas("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 || reps[0] != 4 || reps[1] != 5 {
+		t.Fatalf("replicas after rewrite = %v, want [4 5]", reps)
+	}
+	if fs.FileCount() != 1 {
+		t.Fatalf("FileCount = %d", fs.FileCount())
+	}
+	got, _ := fs.Read("p")
+	if string(got) != "two" {
+		t.Fatalf("Read = %q", got)
+	}
+}
+
+func TestWriteFromSkipsDeadAndInvalidNodes(t *testing.T) {
+	fs := New(4, 3)
+	fs.KillNode(1)
+	fs.WriteFrom("p", []byte("x"), -1, []int{-3, 1, 2, 9})
+	reps, err := fs.Replicas("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 1 || reps[0] != 2 {
+		t.Fatalf("replicas = %v, want [2]", reps)
+	}
+	// All-dead request falls back to round-robin placement on live nodes.
+	fs.WriteFrom("q", []byte("y"), -1, []int{1})
+	reps, err = fs.Replicas("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) == 0 {
+		t.Fatal("no fallback placement")
+	}
+	for _, r := range reps {
+		if r == 1 {
+			t.Fatalf("replica on dead node: %v", reps)
+		}
+	}
+}
+
+func TestWriteMatrixFromRoundTrip(t *testing.T) {
+	fs := New(4, 2)
+	m := workload.RandomRect(7, 5, 3)
+	if err := fs.WriteMatrixFrom("m", m, 0, []int{0, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadMatrixFrom("m", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != 7 || got.Cols != 5 {
+		t.Fatalf("shape %dx%d", got.Rows, got.Cols)
+	}
+	for i, v := range got.Data {
+		if v != m.Data[i] {
+			t.Fatal("matrix corrupted through WriteMatrixFrom")
+		}
+	}
+}

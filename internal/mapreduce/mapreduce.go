@@ -166,6 +166,22 @@ type Job struct {
 	// so a local worker can pick it up, reproducing Hadoop's data-local
 	// task placement.
 	Prefer func(task int) []int
+	// PreferReduce, when non-nil, lists the datanodes that should run
+	// reduce task r — the reduce-side counterpart of Prefer. The
+	// multi-round multiply strategies pin reducers to the nodes holding
+	// their favored-placement input pieces so reads stay local; the same
+	// delay-scheduling budget applies, and a dead preferred node simply
+	// falls back to any worker.
+	PreferReduce func(task int) []int
+	// StrictLocality removes the bounded delay-scheduling budget: a task
+	// with a preference waits for a preferred worker indefinitely instead
+	// of spilling to whichever node's budget expires first. A preference
+	// is waived only when no live worker can ever satisfy it (every
+	// preferred node dead or outside the worker range), so strict jobs
+	// degrade like budget expiry rather than deadlocking. The multiply
+	// strategies set this to make their DFS transfer accounting
+	// deterministic — the shuffle-bytes CI gate depends on it.
+	StrictLocality bool
 	// Priority is the job's fair-share scheduling priority: when slots
 	// are contended, higher-priority jobs are granted slots first, and
 	// equal priorities share round-robin. Zero is the default class.
@@ -192,6 +208,16 @@ type JobResult struct {
 	// errors or dying nodes.
 	FetchRetries int
 	ShuffledKVs  int
+	// BytesRead, BytesWritten and TransferredBytes are the cluster DFS's
+	// byte-counter deltas over this job's run — the per-job shuffle-bytes
+	// accounting the transfer gate and the multiply strategy comparison
+	// are built from. On a cluster running concurrent jobs the deltas are
+	// wall-clock attributed (bytes moved by overlapping jobs land in
+	// whichever job's window they occur), exactly like per-job HDFS
+	// counters scraped from a shared namenode.
+	BytesRead        int64
+	BytesWritten     int64
+	TransferredBytes int64
 	// Counters aggregates TaskContext.IncrCounter values from successful
 	// attempts.
 	Counters map[string]int64
@@ -343,7 +369,7 @@ func (c *Cluster) RunCtx(ctx context.Context, job *Job) (*JobResult, error) {
 	start := time.Now()
 	jobSpan := c.jobSpan(job)
 	var fsBefore dfs.Stats
-	if jobSpan != nil && c.FS != nil {
+	if c.FS != nil {
 		fsBefore = c.FS.Stats()
 	}
 	if c.SleepOnLaunch && c.LaunchOverhead > 0 {
@@ -384,7 +410,7 @@ func (c *Cluster) RunCtx(ctx context.Context, job *Job) (*JobResult, error) {
 		return kvs, tctx.counters, nil
 	}
 	mapSpan := jobSpan.Child("map", obs.KindPhase)
-	mapPhase, err := c.runPhaseLocal(ctx, sj, len(job.Splits), maxAttempts, job.Prefer, mapSpan, "map", mapAttempt)
+	mapPhase, err := c.runPhaseLocal(ctx, sj, len(job.Splits), maxAttempts, job.Prefer, job.StrictLocality, mapSpan, "map", mapAttempt)
 	mapSpan.Finish()
 	if err != nil {
 		jobSpan.SetLabel("error", err.Error())
@@ -466,7 +492,7 @@ func (c *Cluster) RunCtx(ctx context.Context, job *Job) (*JobResult, error) {
 
 	// ---- Reduce phase ----
 	redSpan := jobSpan.Child("reduce", obs.KindPhase)
-	redPhase, err := c.runPhaseLocal(ctx, sj, job.NumReduce, maxAttempts, nil, redSpan, "reduce", func(r, attempt, node int) (any, map[string]int64, error) {
+	redPhase, err := c.runPhaseLocal(ctx, sj, job.NumReduce, maxAttempts, job.PreferReduce, job.StrictLocality, redSpan, "reduce", func(r, attempt, node int) (any, map[string]int64, error) {
 		if c.InjectFailure != nil {
 			if ferr := c.InjectFailure(job.Name, r, attempt, false); ferr != nil {
 				return nil, nil, ferr
@@ -528,6 +554,12 @@ func (c *Cluster) finishJob(failures int) {
 // attribution the paper's tables are built from — and feeds the metrics
 // registry.
 func (c *Cluster) finishJobObs(jobSpan *obs.Span, res *JobResult, fsBefore dfs.Stats) {
+	if c.FS != nil {
+		after := c.FS.Stats()
+		res.BytesRead = after.BytesRead - fsBefore.BytesRead
+		res.BytesWritten = after.BytesWritten - fsBefore.BytesWritten
+		res.TransferredBytes = after.BytesTransferred - fsBefore.BytesTransferred
+	}
 	if jobSpan != nil {
 		jobSpan.SetAttr("map_tasks", int64(res.MapTasks))
 		jobSpan.SetAttr("reduce_tasks", int64(res.ReduceTasks))
@@ -544,11 +576,10 @@ func (c *Cluster) finishJobObs(jobSpan *obs.Span, res *JobResult, fsBefore dfs.S
 		jobSpan.SetAttr("slot_wait_us", res.SlotWait.Microseconds())
 		jobSpan.SetAttr("slot_grants", res.SlotGrants)
 		if c.FS != nil {
-			after := c.FS.Stats()
-			jobSpan.SetAttr("dfs.bytes_read", after.BytesRead-fsBefore.BytesRead)
-			jobSpan.SetAttr("dfs.bytes_written", after.BytesWritten-fsBefore.BytesWritten)
-			jobSpan.SetAttr("dfs.bytes_transferred", after.BytesTransferred-fsBefore.BytesTransferred)
-			jobSpan.SetAttr("dfs.files_created", after.FilesCreated-fsBefore.FilesCreated)
+			jobSpan.SetAttr("dfs.bytes_read", res.BytesRead)
+			jobSpan.SetAttr("dfs.bytes_written", res.BytesWritten)
+			jobSpan.SetAttr("dfs.bytes_transferred", res.TransferredBytes)
+			jobSpan.SetAttr("dfs.files_created", c.FS.Stats().FilesCreated-fsBefore.FilesCreated)
 		}
 		jobSpan.Finish()
 	}
@@ -596,7 +627,7 @@ type phaseResult struct {
 // (named "<label>:<task>") on its node's track. Cancellation of ctx stops
 // workers from launching further task attempts; attempts already running
 // finish in the background without touching the phase result.
-func (c *Cluster) runPhaseLocal(ctx context.Context, sj *SchedJob, n, maxAttempts int, prefer func(task int) []int, phaseSpan *obs.Span, label string, run taskFn) (*phaseResult, error) {
+func (c *Cluster) runPhaseLocal(ctx context.Context, sj *SchedJob, n, maxAttempts int, prefer func(task int) []int, strict bool, phaseSpan *obs.Span, label string, run taskFn) (*phaseResult, error) {
 	pr := &phaseResult{
 		results:  make([]any, n),
 		counters: map[string]int64{},
@@ -695,7 +726,8 @@ func (c *Cluster) runPhaseLocal(ctx context.Context, sj *SchedJob, n, maxAttempt
 					// its turn before the budget burns out. The slot goes
 					// back to the pool while we wait, so deferral never
 					// idles shared cluster capacity.
-					if t.deferred < deferBudget && !isPreferred(t.id, node) {
+					if !isPreferred(t.id, node) &&
+						(t.deferred < deferBudget || strict && c.strictSatisfiable(prefer(t.id))) {
 						mu.Unlock()
 						sj.Release(slot)
 						t.deferred++
@@ -932,7 +964,7 @@ func (c *Cluster) recoverMapOutputs(ctx context.Context, sj *SchedJob, job *Job,
 		if job.Prefer != nil {
 			prefer = func(j int) []int { return job.Prefer(lost[j]) }
 		}
-		sub, rerr := c.runPhaseLocal(ctx, sj, len(lost), maxAttempts, prefer, recSpan, "map", func(j, attempt, node int) (any, map[string]int64, error) {
+		sub, rerr := c.runPhaseLocal(ctx, sj, len(lost), maxAttempts, prefer, job.StrictLocality, recSpan, "map", func(j, attempt, node int) (any, map[string]int64, error) {
 			return mapAttempt(lost[j], attempt, node)
 		})
 		recSpan.Finish()
@@ -982,6 +1014,27 @@ func median(xs []float64) float64 {
 	cp := append([]float64(nil), xs...)
 	sort.Float64s(cp)
 	return cp[len(cp)/2]
+}
+
+// strictSatisfiable reports whether a strict-locality preference can
+// still be honored: some preferred node maps to a live worker. When none
+// does, the preference is waived so strict jobs fall back like an
+// expired delay budget instead of deadlocking.
+func (c *Cluster) strictSatisfiable(nodes []int) bool {
+	workers := maxInt(1, c.nodesForScheduling())
+	if c.Slots < workers {
+		workers = c.Slots
+	}
+	for _, p := range nodes {
+		if p < 0 || p >= workers {
+			continue
+		}
+		if c.Faults != nil && !c.Faults.NodeAlive(p) {
+			continue
+		}
+		return true
+	}
+	return false
 }
 
 // nodesForScheduling maps slots onto DFS datanodes for locality accounting.

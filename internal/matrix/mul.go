@@ -1,6 +1,7 @@
 package matrix
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 )
@@ -52,6 +53,62 @@ func MulTransB(a, bT *Dense) (*Dense, error) {
 		orow := out.Row(i)
 		for j := 0; j < bT.Rows; j++ {
 			orow[j] = Dot(arow, bT.Row(j))
+		}
+	}
+	return out, nil
+}
+
+// MulAddTransB accumulates dst += a * bT.Transpose() with the same
+// row-dot kernel as MulTransB. It is the accumulation step of the
+// multi-round multiply strategies: each round adds one inner-dimension
+// segment's partial product into the running block, and because every
+// segment's dot product is formed exactly as MulTransB forms it, the
+// distributed accumulation is bit-identical to MulSegTransB's sequential
+// left fold.
+func MulAddTransB(dst, a, bT *Dense) error {
+	if a.Cols != bT.Cols {
+		return shapeErr("matrix: MulAddTransB", a, bT)
+	}
+	if dst.Rows != a.Rows || dst.Cols != bT.Rows {
+		return shapeErr("matrix: MulAddTransB dst", dst, a)
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < bT.Rows; j++ {
+			drow[j] += Dot(arow, bT.Row(j))
+		}
+	}
+	return nil
+}
+
+// MulSegTransB is the sequential reference for the multi-round multiply
+// strategies: a * bT.Transpose() computed one inner-dimension segment at
+// a time, accumulating segments in ascending order (a left fold). bounds
+// holds the segment edges, bounds[0] = 0 and bounds[len-1] = a.Cols.
+// With a single segment the result is bit-identical to MulTransB; with
+// more, floating-point non-associativity makes the segmented fold the
+// ground truth the distributed strategies must match bit for bit.
+func MulSegTransB(a, bT *Dense, bounds []int) (*Dense, error) {
+	if a.Cols != bT.Cols {
+		return nil, shapeErr("matrix: MulSegTransB", a, bT)
+	}
+	if len(bounds) < 2 || bounds[0] != 0 || bounds[len(bounds)-1] != a.Cols {
+		return nil, fmt.Errorf("matrix: MulSegTransB: bad segment bounds %v for inner dim %d", bounds, a.Cols)
+	}
+	out := New(a.Rows, bT.Rows)
+	for s := 0; s+1 < len(bounds); s++ {
+		k0, k1 := bounds[s], bounds[s+1]
+		if k1 < k0 {
+			return nil, fmt.Errorf("matrix: MulSegTransB: descending segment bounds %v", bounds)
+		}
+		if k0 == k1 {
+			continue
+		}
+		aseg := a.Block(0, a.Rows, k0, k1)
+		bseg := bT.Block(0, bT.Rows, k0, k1)
+		if err := MulAddTransB(out, aseg, bseg); err != nil {
+			return nil, err
 		}
 	}
 	return out, nil

@@ -26,6 +26,19 @@ func Sub(a, b *Dense) (*Dense, error) {
 	return out, nil
 }
 
+// AddInPlace adds b into a, storing the result in a. The multi-round
+// multiply sum rounds use it to fold partial products in ascending
+// segment order.
+func AddInPlace(a, b *Dense) error {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return shapeErr("matrix: AddInPlace", a, b)
+	}
+	for i, v := range b.Data {
+		a.Data[i] += v
+	}
+	return nil
+}
+
 // SubInPlace subtracts b from a, storing the result in a.
 func SubInPlace(a, b *Dense) error {
 	if a.Rows != b.Rows || a.Cols != b.Cols {

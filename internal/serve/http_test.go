@@ -85,13 +85,21 @@ func TestServingIntegration(t *testing.T) {
 	for _, sp := range specs {
 		inputs = append(inputs, sp.Build())
 	}
-	fresh := workload.DiagonallyDominant(32, 7002)
 	for i := 0; i < 3; i++ {
-		inputs = append(inputs, warm, fresh)
+		inputs = append(inputs, warm)
 	}
 	rand.New(rand.NewSource(1)).Shuffle(len(inputs), func(i, j int) {
 		inputs[i], inputs[j] = inputs[j], inputs[i]
 	})
+	// The fresh matrix's three copies stay at the tail: copy 1 is posted
+	// alone (below) and its admission awaited while the blockers pin both
+	// workers, so copies 2 and 3 are guaranteed to join the leader's
+	// flight in the queue — a deterministic singleflight dedup instead of
+	// a race between the copies and the leader's completion.
+	fresh := workload.DiagonallyDominant(32, 7002)
+	for i := 0; i < 3; i++ {
+		inputs = append(inputs, fresh)
+	}
 	if len(inputs) != 32 {
 		t.Fatalf("burst size %d", len(inputs))
 	}
@@ -120,22 +128,35 @@ func TestServingIntegration(t *testing.T) {
 	}
 	outcomes := make([]outcome, len(inputs))
 	var wg sync.WaitGroup
-	for i, a := range inputs {
-		wg.Add(1)
-		go func(i int, a *matrix.Dense) {
-			defer wg.Done()
-			resp, body := postMatrix(t, client, invertURL, a)
-			o := outcome{status: resp.StatusCode, source: resp.Header.Get("X-Source")}
-			if resp.StatusCode == http.StatusOK {
-				inv, err := matrix.ReadBinary(bytes.NewReader(body))
-				if err != nil {
-					t.Errorf("request %d: bad body: %v", i, err)
-				} else {
-					o.inv = inv
-				}
+	post := func(i int, a *matrix.Dense) {
+		defer wg.Done()
+		resp, body := postMatrix(t, client, invertURL, a)
+		o := outcome{status: resp.StatusCode, source: resp.Header.Get("X-Source")}
+		if resp.StatusCode == http.StatusOK {
+			inv, err := matrix.ReadBinary(bytes.NewReader(body))
+			if err != nil {
+				t.Errorf("request %d: bad body: %v", i, err)
+			} else {
+				o.inv = inv
 			}
-			outcomes[i] = o
-		}(i, a)
+		}
+		outcomes[i] = o
+	}
+	// Post the fresh leader first and wait for its admission: with both
+	// workers pinned it sits in the queue, so the two copies posted with
+	// the rest of the burst must dedup against it in flight.
+	leader := len(inputs) - 3
+	wg.Add(1)
+	go post(leader, inputs[leader])
+	for s.Metrics().Counter("serve.admitted").Value() < 4 { // + fresh leader
+		time.Sleep(200 * time.Microsecond)
+	}
+	for i, a := range inputs {
+		if i == leader {
+			continue
+		}
+		wg.Add(1)
+		go post(i, a)
 	}
 	wg.Wait()
 	blockers.Wait()

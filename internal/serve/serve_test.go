@@ -238,8 +238,10 @@ func TestDrainCancelsExecutingFlights(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		// Deep pipeline: many jobs left once the drain deadline fires.
-		_, doErr = s.Do(context.Background(), Request{A: workload.DiagonallyDominant(192, 11), NB: 8})
+		// Deep pipeline: many jobs left once the drain deadline fires. The
+		// order is large enough that even a test goroutine starved by a
+		// loaded machine drains while dozens of jobs still remain.
+		_, doErr = s.Do(context.Background(), Request{A: workload.DiagonallyDominant(320, 11), NB: 8})
 	}()
 	// Wait until the pipeline is actually executing (past admission).
 	for s.Metrics().Counter("mapreduce.jobs").Value() == 0 {
