@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover cover-check bench bench-smoke chaos-smoke fleet-smoke lstsq-smoke transfer-check experiments examples trace serve load fmt vet lint mrlint clean
+.PHONY: all build test race cover cover-check bench bench-smoke chaos-smoke fleet-smoke lstsq-smoke incr-smoke transfer-check experiments examples trace serve load fmt vet lint mrlint clean
 
 all: build test
 
@@ -104,6 +104,8 @@ bench-smoke:
 	grep -q '"experiment":"multiround"' BENCH_report.json
 	grep -q '"strategy":"replicated"' BENCH_report.json
 	grep -q '"beats_single":true' BENCH_report.json
+	grep -q '"experiment":"incr"' BENCH_report.json
+	grep -q '"update_wins":true' BENCH_report.json
 
 # Shuffle-bytes regression gate, as run by CI: seeded multiply per
 # strategy on the gated shape, bit-identity against the sequential
@@ -135,6 +137,14 @@ lstsq-smoke:
 	$(GO) run repro/cmd/loadgen -shards 4 -mode closed -concurrency 8 -requests 64 -seed 2 \
 		-mix 24:4,40:2,256x8:3,192x6:1 -dup 0.3 -hot-keys 2 -hot-frac 0.25 \
 		-verify -assert-error-rate 0
+
+# Seeded incremental-inversion smoke, as run by CI: a hot-key mix where
+# 30% of requests are rank-2 row mutations of hot bases, served by an
+# in-process fleet with the SMW update path enabled. The gate requires
+# zero errors, at least one incrementally served request, and the
+# incremental p50 beating the full-pipeline p50.
+incr-smoke:
+	$(GO) run repro/cmd/loadgen -mode closed -concurrency 4 -requests 96 -seed 7 		-mix 64:3,96:1 -dup 0.2 -hot-keys 3 -hot-frac 0.35 		-delta-frac 0.3 -delta-rank 2 -incr 		-assert-error-rate 0 -assert-min-incremental 1 -assert-incr-faster
 
 # Seeded chaos smoke, as run by CI: replay the §7.4 failure-recovery
 # experiment under the race detector — kill 2 of 8 nodes mid-pipeline and

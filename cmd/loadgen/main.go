@@ -55,6 +55,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/fed"
+	"repro/internal/incr"
 	"repro/internal/matrix"
 	"repro/internal/serve"
 	"repro/internal/tsqr"
@@ -67,6 +68,7 @@ type result struct {
 	Cols     int     `json:"cols,omitempty"` // 0 = square (inversion)
 	Dup      bool    `json:"dup"`
 	Hot      bool    `json:"hot,omitempty"`
+	Delta    bool    `json:"delta,omitempty"`
 	Tenant   string  `json:"tenant,omitempty"`
 	Status   int     `json:"status"`
 	Source   string  `json:"source,omitempty"`
@@ -87,6 +89,7 @@ type groupSummary struct {
 	Statuses  map[string]int `json:"statuses,omitempty"`
 	CacheHits int            `json:"cache_hits"`
 	DedupHits int            `json:"dedup_hits"`
+	IncrHits  int            `json:"incr_hits,omitempty"`
 	Spills    int            `json:"spills"`
 	P50Ms     float64        `json:"p50_ms"`
 	P95Ms     float64        `json:"p95_ms"`
@@ -106,6 +109,8 @@ type summary struct {
 	Statuses   map[string]int `json:"statuses"`
 	CacheHits  int            `json:"cache_hits"`
 	DedupHits  int            `json:"dedup_hits"`
+	IncrHits   int            `json:"incr_hits"`
+	Deltas     int            `json:"deltas,omitempty"` // delta-mutation requests issued
 	WallSec    float64        `json:"wall_s"`
 	Throughput float64        `json:"throughput_rps"`
 	MeanMs     float64        `json:"mean_ms"`
@@ -119,6 +124,10 @@ type summary struct {
 	HomeHits     int                      `json:"home_hits"`
 	Tenants      map[string]*groupSummary `json:"tenants,omitempty"`
 	PerShard     map[string]*groupSummary `json:"per_shard,omitempty"`
+	// PerSource breaks latency down by how the server produced each
+	// answer (pipeline / cache / dedup / incremental): the update-vs-full
+	// serving comparison in one place.
+	PerSource map[string]*groupSummary `json:"per_source,omitempty"`
 	// Scheduler view from the server's /statz, summed across shards: how
 	// hard the slot pools were driven by this run.
 	SlotCap        int     `json:"slot_cap,omitempty"`
@@ -129,6 +138,8 @@ type summary struct {
 	// Fleet /statz rollups.
 	FedSpills         int64 `json:"fed_spills,omitempty"`
 	FedTenantRejected int64 `json:"fed_tenant_rejected,omitempty"`
+	FedBaseRouted     int64 `json:"fed_base_routed,omitempty"`
+	FedIncrUpdates    int64 `json:"fed_incr_updates,omitempty"`
 	// Chaos view from /statz when the in-process fleet ran with
 	// -chaos-kill: how many faults were injected while this load ran, and
 	// how many of the issued requests still failed.
@@ -187,6 +198,8 @@ func main() {
 	dup := flag.Float64("dup", 0.25, "duplicate-request probability (exercises dedup + cache)")
 	hotKeys := flag.Int("hot-keys", 0, "fixed hot-key set size (0 = no hot keys)")
 	hotFrac := flag.Float64("hot-frac", 0.5, "probability a request is one of the hot keys")
+	deltaFrac := flag.Float64("delta-frac", 0, "probability a request is a rank-k row mutation of a previously issued square base (update traffic; sent with X-Base-Digest)")
+	deltaRank := flag.Int("delta-rank", 1, "rows perturbed per delta request (clamped to order/4)")
 	tenantMix := flag.String("tenant-mix", "", "tenant billing mix as name:weight,... (sent as X-Tenant)")
 	timeout := flag.Duration("timeout", 0, "per-request server-side deadline (0 = none)")
 	nodes := flag.Int("nodes", 0, "nodes override sent with each request (0 = server default)")
@@ -201,9 +214,14 @@ func main() {
 	serveQueue := flag.Int("serve-queue", 64, "in-process fleet: admission queue depth per shard")
 	chaosKill := flag.Int("chaos-kill", 0, "in-process fleet: kill this many datanodes on shard 0 under load (chaos mode)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "in-process fleet: fault-schedule seed for -chaos-kill")
+	incrEnable := flag.Bool("incr", false, "in-process fleet: enable the incremental (SMW) inversion path on every shard")
+	incrKMax := flag.Int("incr-kmax", 0, "in-process fleet: max delta rank served incrementally (0 = default)")
+	incrBases := flag.Int("incr-bases", 0, "in-process fleet: base-inverse index entries per shard (0 = default)")
 	verify := flag.Bool("verify", false, "verify each /lstsq solution against the sequential QR reference (1e-8); mismatches count as errors")
 	assertErrRate := flag.Float64("assert-error-rate", -1, "exit nonzero unless error_rate <= this (negative disables)")
 	assertMinSpills := flag.Int("assert-min-spills", -1, "exit nonzero unless at least this many requests spilled (negative disables)")
+	assertMinIncr := flag.Int("assert-min-incremental", -1, "exit nonzero unless at least this many requests were served incrementally (negative disables)")
+	assertIncrFaster := flag.Bool("assert-incr-faster", false, "exit nonzero unless incremental p50 beats the full-pipeline p50")
 	flag.Parse()
 
 	if *chaosKill > 0 && *url != "" {
@@ -214,17 +232,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	mix := workload.Mix{Entries: entries, DupProb: *dup, HotKeys: *hotKeys, HotProb: *hotFrac}
+	mix := workload.Mix{Entries: entries, DupProb: *dup, HotKeys: *hotKeys, HotProb: *hotFrac,
+		DeltaProb: *deltaFrac, DeltaRank: *deltaRank}
 	tenants, err := parseTenantMix(*tenantMix)
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	incrCfg := incr.Config{Enabled: *incrEnable, KMax: *incrKMax, MaxBases: *incrBases}
 	base := *url
 	if base == "" {
 		var stop func()
 		base, stop = selfFleet(*shards, *vnodes, *route, *tenantsQuota,
-			*serveConc, *serveQueue, *chaosKill, *chaosSeed)
+			*serveConc, *serveQueue, *chaosKill, *chaosSeed, incrCfg)
 		defer stop()
 	}
 	query := "?"
@@ -274,14 +294,18 @@ func main() {
 			}
 		}
 	}
-	// Bodies are keyed by the full (order, cols, seed) identity so a tall
-	// spec can never collide with a square one. Tall bodies carry the
-	// /lstsq wire format: matrix A immediately followed by its rhs.
-	specKey := func(sp workload.RequestSpec) [3]int64 {
-		return [3]int64{int64(sp.Order), int64(sp.Cols), sp.Seed}
+	// Bodies are keyed by the full (order, cols, seed, delta) identity so
+	// a tall spec can never collide with a square one and a delta
+	// mutation never collides with its base. Tall bodies carry the /lstsq
+	// wire format: matrix A immediately followed by its rhs.
+	specKey := func(sp workload.RequestSpec) [5]int64 {
+		return [5]int64{int64(sp.Order), int64(sp.Cols), sp.Seed, int64(sp.DeltaRank), sp.DeltaSeed}
 	}
-	bodies := make(map[[3]int64][]byte)
-	refs := make(map[[3]int64]*matrix.Dense) // -verify: sequential lstsq reference
+	bodies := make(map[[5]int64][]byte)
+	refs := make(map[[5]int64]*matrix.Dense) // -verify: sequential lstsq reference
+	// Delta requests carry an X-Base-Digest hint naming the digest their
+	// unmutated base was served (and its inverse indexed) under.
+	baseDigests := make(map[[5]int64]string)
 	for _, sp := range specs {
 		k := specKey(sp)
 		if _, ok := bodies[k]; ok {
@@ -289,6 +313,10 @@ func main() {
 		}
 		var buf bytes.Buffer
 		a := sp.Build()
+		if sp.Delta() {
+			baseDigests[k] = serve.KeyFor(
+				serve.Request{A: sp.Base().Build(), Nodes: *nodes, NB: *nb}, fleetOpts())
+		}
 		if err := matrix.WriteBinary(&buf, a); err != nil {
 			log.Fatal(err)
 		}
@@ -314,7 +342,7 @@ func main() {
 	fire := func(i int) {
 		sp := specs[i]
 		res := result{Index: i, Order: sp.Order, Cols: sp.Cols, Dup: sp.Dup, Hot: sp.Hot,
-			Tenant: billing[i], Shard: -1, started: time.Now()}
+			Delta: sp.Delta(), Tenant: billing[i], Shard: -1, started: time.Now()}
 		hreq, err := http.NewRequest(http.MethodPost, target(sp), bytes.NewReader(body(sp)))
 		if err != nil {
 			res.Err = err.Error()
@@ -324,6 +352,9 @@ func main() {
 		hreq.Header.Set("Content-Type", "application/octet-stream")
 		if res.Tenant != "" {
 			hreq.Header.Set("X-Tenant", res.Tenant)
+		}
+		if hint := baseDigests[specKey(sp)]; hint != "" {
+			hreq.Header.Set("X-Base-Digest", hint)
 		}
 		resp, err := client.Do(hreq)
 		res.Millis = float64(time.Since(res.started).Microseconds()) / 1000
@@ -412,6 +443,18 @@ func main() {
 	if *assertMinSpills >= 0 && sum.Spills < *assertMinSpills {
 		log.Fatalf("assert: %d spills < required %d (overflow spill never engaged)", sum.Spills, *assertMinSpills)
 	}
+	if *assertMinIncr >= 0 && sum.IncrHits < *assertMinIncr {
+		log.Fatalf("assert: %d incremental hits < required %d (incremental path never engaged)", sum.IncrHits, *assertMinIncr)
+	}
+	if *assertIncrFaster {
+		inc, full := sum.PerSource["incremental"], sum.PerSource["pipeline"]
+		if inc == nil || full == nil {
+			log.Fatal("assert: -assert-incr-faster needs both incremental and full-pipeline traffic in the run")
+		}
+		if inc.P50Ms >= full.P50Ms {
+			log.Fatalf("assert: incremental p50 %.3fms not below full-pipeline p50 %.3fms", inc.P50Ms, full.P50Ms)
+		}
+	}
 }
 
 // addFleetStats folds the server's /statz fleet view into the summary:
@@ -431,6 +474,8 @@ func addFleetStats(s *summary, client *http.Client, base string) {
 	s.Route = st.Route
 	s.FedSpills = st.Spills
 	s.FedTenantRejected = st.TenantRejected
+	s.FedBaseRouted = st.BaseRouted
+	s.FedIncrUpdates = st.IncrUpdates
 	for _, sh := range st.Shards {
 		sv := sh.Serve
 		s.SlotCap += sv.Scheduler.Capacity
@@ -461,6 +506,7 @@ func summarize(mode string, seed int64, results []result, wall time.Duration) su
 	var sum float64
 	tenantLat := map[string][]float64{}
 	shardLat := map[string][]float64{}
+	sourceLat := map[string][]float64{}
 	group := func(m map[string]*groupSummary, key string) *groupSummary {
 		g, ok := m[key]
 		if !ok {
@@ -492,6 +538,9 @@ func summarize(mode string, seed int64, results []result, wall time.Duration) su
 		if r.Cols > 0 {
 			s.Lstsq++
 		}
+		if r.Delta {
+			s.Deltas++
+		}
 		if r.Verified {
 			s.Verified++
 		}
@@ -510,6 +559,17 @@ func summarize(mode string, seed int64, results []result, wall time.Duration) su
 			s.CacheHits++
 		case "dedup":
 			s.DedupHits++
+		case "incremental":
+			s.IncrHits++
+		}
+		if r.Source != "" {
+			if s.PerSource == nil {
+				s.PerSource = map[string]*groupSummary{}
+			}
+			g := group(s.PerSource, r.Source)
+			g.Requests++
+			g.OK++
+			sourceLat[r.Source] = append(sourceLat[r.Source], r.Millis)
 		}
 		if r.Route == "spill" {
 			s.Spills++
@@ -523,6 +583,8 @@ func summarize(mode string, seed int64, results []result, wall time.Duration) su
 				g.CacheHits++
 			case "dedup":
 				g.DedupHits++
+			case "incremental":
+				g.IncrHits++
 			}
 			if r.Route == "spill" {
 				g.Spills++
@@ -550,6 +612,7 @@ func summarize(mode string, seed int64, results []result, wall time.Duration) su
 	}
 	finishGroups(s.Tenants, tenantLat)
 	finishGroups(s.PerShard, shardLat)
+	finishGroups(s.PerSource, sourceLat)
 	if wall > 0 {
 		s.Throughput = float64(s.OK) / wall.Seconds()
 	}
@@ -582,24 +645,35 @@ func percentile(sorted []float64, p float64) float64 {
 	return sorted[idx]
 }
 
+// fleetOpts are the solve options the in-process fleet serves with. The
+// delta traffic's X-Base-Digest hints are computed against the same
+// options so they name the digest the server actually cached under; for
+// an external -url with different options the hint simply misses and the
+// server falls back to its fingerprint probe.
+func fleetOpts() core.Options {
+	opts := core.DefaultOptions(8)
+	opts.NB = 64
+	return opts
+}
+
 // selfFleet starts an in-process federated fleet on a loopback port and
 // returns its base URL plus a shutdown function. chaosKill > 0 runs shard
 // 0's cluster under a seeded fault schedule: that many datanodes crash
 // while the load runs (and are later revived, so capacity recovers),
 // proving the fleet absorbs node loss — by in-shard recovery or spill —
 // without failing requests.
-func selfFleet(shards, vnodes int, route, tenantsQuota string, concurrency, queue, chaosKill int, chaosSeed int64) (string, func()) {
+func selfFleet(shards, vnodes int, route, tenantsQuota string, concurrency, queue, chaosKill int, chaosSeed int64, ic incr.Config) (string, func()) {
 	specs, err := fed.ParseTenants(tenantsQuota)
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := core.DefaultOptions(8)
-	opts.NB = 64
+	opts := fleetOpts()
 	shardCfg := serve.Config{
 		Concurrency: concurrency,
 		QueueDepth:  queue,
 		CacheBytes:  64 << 20,
 		Opts:        opts,
+		Incr:        ic,
 	}
 	if chaosKill > 0 {
 		plan := chaos.RandomPlan(chaosSeed, chaos.PlanConfig{

@@ -23,6 +23,9 @@
 //	POST /invert    binary matrix body -> binary inverse
 //	                query: timeout=250ms  nodes=8  nb=64  priority=5
 //	                header: X-Tenant: gold
+//	                header: X-Base-Digest: <digest>  (-incr: hint naming
+//	                the cached base matrix this one is a row-mutation of;
+//	                the response's X-Serve-Source says how it was served)
 //	POST /lstsq     tall matrix A + right-hand side b (binary,
 //	                concatenated) -> least-squares solution via the
 //	                MapReduce TSQR pipeline (or the sequential QR kernel
@@ -49,6 +52,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fed"
+	"repro/internal/incr"
 	"repro/internal/serve"
 )
 
@@ -65,6 +69,9 @@ func main() {
 	cacheMB := flag.Int64("cache-mb", 64, "inverse result cache budget in MiB per shard (0 disables)")
 	maxJobs := flag.Int("max-jobs", 0, "cap on MapReduce jobs holding cluster slots at once (0 = unlimited)")
 	slotQuota := flag.Int("slot-quota", 0, "cap on slots one job may hold while others wait (0 = unlimited)")
+	incrEnable := flag.Bool("incr", false, "enable the incremental (Sherman–Morrison–Woodbury) inversion path: cache misses a rank-k row delta from an indexed base inverse are served as O(kn²) updates")
+	incrKMax := flag.Int("incr-kmax", 0, "max delta rank served incrementally (0 = default)")
+	incrBases := flag.Int("incr-bases", 0, "base-inverse index entries per shard (0 = default)")
 	timeout := flag.Duration("timeout", 0, "default per-request deadline when the client sets none (0 = unlimited)")
 	drainGrace := flag.Duration("drain", 10*time.Second, "graceful drain budget on shutdown")
 	showMetrics := flag.Bool("metrics", false, "print the fleet metrics registry after drain")
@@ -89,6 +96,7 @@ func main() {
 			MaxConcurrentJobs: *maxJobs,
 			SlotQuota:         *slotQuota,
 			Opts:              opts,
+			Incr:              incr.Config{Enabled: *incrEnable, KMax: *incrKMax, MaxBases: *incrBases},
 		},
 	})
 	if err != nil {

@@ -27,6 +27,7 @@ var replayCriticalPkgs = []string{
 	"internal/dfs",
 	"internal/tsqr",
 	"internal/core",
+	"internal/incr",
 }
 
 // lockSensitivePkgs are the concurrent serving-path packages where

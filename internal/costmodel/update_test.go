@@ -1,0 +1,65 @@
+package costmodel
+
+import "testing"
+
+func TestChooseUpdatePrefersUpdateAtLowRank(t *testing.T) {
+	c := ServingCluster(8)
+	for _, k := range []int{1, 4, 8, 32} {
+		ch := ChooseUpdate(c, 256, k, 64, 0)
+		if !ch.Incremental() {
+			t.Fatalf("n=256 k=%d: chose %s (%s), want an update path", k, ch.Strategy, ch.Reason)
+		}
+		if ch.Predicted[ch.Strategy] > ch.Predicted[UpdateFull] {
+			t.Fatalf("n=256 k=%d: chosen path predicted slower than full", k)
+		}
+	}
+}
+
+func TestChooseUpdateRefusesHighRank(t *testing.T) {
+	c := ServingCluster(8)
+	for _, tc := range []struct{ n, k int }{{256, 65}, {64, 20}, {16, 8}, {100, 0}} {
+		if ch := ChooseUpdate(c, tc.n, tc.k, 64, 0); ch.Incremental() {
+			t.Fatalf("n=%d k=%d: chose %s, want full (rank beyond n/%d)",
+				tc.n, tc.k, ch.Strategy, MaxUpdateFraction)
+		}
+	}
+}
+
+func TestChooseUpdateDistributedAtScale(t *testing.T) {
+	c := ServingCluster(8)
+	// Small problems must not pay three job launches...
+	if ch := ChooseUpdate(c, 256, 8, 64, 0); ch.Strategy != UpdateSequential {
+		t.Fatalf("n=256 k=8: chose %s, want sequential (%s)", ch.Strategy, ch.Reason)
+	}
+	// ...while at large n the parallel flops win despite them.
+	if ch := ChooseUpdate(c, 2048, 64, 512, 0); ch.Strategy != UpdateDistributed {
+		t.Fatalf("n=2048 k=64: chose %s, want distributed (%s)", ch.Strategy, ch.Reason)
+	}
+}
+
+func TestChooseUpdateLoadShiftsCrossover(t *testing.T) {
+	c := ServingCluster(8)
+	const n, k, nb = 2048, 64, 512
+	idle := ChooseUpdate(c, n, k, nb, 0)
+	if idle.Strategy != UpdateDistributed {
+		t.Fatalf("idle cluster: chose %s, want distributed", idle.Strategy)
+	}
+	// A deep admission queue inflates cluster-hosted paths; the
+	// master-local sequential update must eventually win.
+	loaded := ChooseUpdate(c, n, k, nb, 512)
+	if loaded.Strategy != UpdateSequential {
+		t.Fatalf("loaded cluster: chose %s (%s), want sequential", loaded.Strategy, loaded.Reason)
+	}
+	if loaded.Predicted[UpdateDistributed] <= idle.Predicted[UpdateDistributed] {
+		t.Fatal("load did not inflate the distributed prediction")
+	}
+}
+
+func TestChooseUpdateDeterministic(t *testing.T) {
+	c := ServingCluster(4)
+	a := ChooseUpdate(c, 512, 16, 64, 3)
+	b := ChooseUpdate(c, 512, 16, 64, 3)
+	if a.Strategy != b.Strategy || a.Reason != b.Reason {
+		t.Fatalf("same inputs chose %s vs %s", a.Strategy, b.Strategy)
+	}
+}

@@ -171,10 +171,19 @@ func (f *Fleet) Metrics() *obs.Registry { return f.met }
 
 // Home computes the digest and home shard the ring assigns to a request,
 // without admitting it — the same digest serve.Server.Do will use for
-// dedup and caching on that shard.
+// dedup and caching on that shard. A request carrying an X-Base-Digest
+// hint is placed by that base digest instead of its own: a mutated
+// matrix hashes nowhere near its base, so without the hint the delta
+// probe would land on a shard whose index has never seen the base.
+// Routing by the base digest keeps mutation chains shard-local while
+// dedup and caching still use the request's own digest.
 func (f *Fleet) Home(req Request) (digest string, shard int) {
 	digest = serve.KeyFor(req.Request, f.base)
-	return digest, f.ring.Owner(digest)
+	key := digest
+	if req.BaseDigest != "" {
+		key = req.BaseDigest
+	}
+	return digest, f.ring.Owner(key)
 }
 
 // Do routes one request through the federation lifecycle: tenant
@@ -190,6 +199,9 @@ func (f *Fleet) Do(ctx context.Context, req Request) (*Result, error) {
 	req.Priority = prio
 
 	_, home := f.Home(req)
+	if req.BaseDigest != "" {
+		f.met.Counter("fed.base_routed").Add(1)
+	}
 	target, route := home, "home"
 	if f.cfg.Route == RouteRandom {
 		f.mu.Lock()
@@ -326,11 +338,16 @@ type Stats struct {
 	TenantRejected int64 `json:"tenant_rejected"`
 	NoShard        int64 `json:"no_shard"`
 	Failed         int64 `json:"failed"`
+	// BaseRouted counts requests placed on the ring by their
+	// X-Base-Digest hint (delta traffic pinned to its base's shard).
+	BaseRouted int64 `json:"base_routed"`
 	// Fleet-wide rollups summed over shards.
-	CacheHits  int64 `json:"cache_hits"`
-	DedupHits  int64 `json:"dedup_hits"`
-	Completed  int64 `json:"completed"`
-	NodesAlive int   `json:"nodes_alive"`
+	CacheHits int64 `json:"cache_hits"`
+	DedupHits int64 `json:"dedup_hits"`
+	Completed int64 `json:"completed"`
+	// IncrUpdates sums the shards' successful incremental updates.
+	IncrUpdates int64 `json:"incr_updates"`
+	NodesAlive  int   `json:"nodes_alive"`
 }
 
 // Snapshot returns current fleet stats, including every shard's own
@@ -348,6 +365,7 @@ func (f *Fleet) Snapshot() Stats {
 		TenantRejected: f.met.Counter("fed.tenant_rejected").Value(),
 		NoShard:        f.met.Counter("fed.no_shard").Value(),
 		Failed:         f.met.Counter("fed.failed").Value(),
+		BaseRouted:     f.met.Counter("fed.base_routed").Value(),
 	}
 	for i, s := range f.shards {
 		ss := s.Snapshot()
@@ -362,6 +380,9 @@ func (f *Fleet) Snapshot() Stats {
 		st.CacheHits += ss.CacheHits
 		st.DedupHits += ss.DedupHits
 		st.Completed += ss.Completed
+		if ss.Incr != nil {
+			st.IncrUpdates += ss.Incr.Updates
+		}
 		st.NodesAlive += ss.NodesAlive
 	}
 	return st

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/incr"
 	"repro/internal/matrix"
 	"repro/internal/serve"
 	"repro/internal/workload"
@@ -309,5 +310,107 @@ func TestFleetDrainRejectsNewWork(t *testing.T) {
 	_, err := f.Do(context.Background(), Request{Request: serve.Request{A: workload.DiagonallyDominant(24, 1)}})
 	if !errors.Is(err, serve.ErrDraining) && !errors.Is(err, ErrNoShard) {
 		t.Fatalf("post-drain request: %v", err)
+	}
+}
+
+func incrShardConfig() serve.Config {
+	cfg := shardConfig()
+	cfg.Incr = incr.Config{Enabled: true}
+	return cfg
+}
+
+// A mutated matrix hashes nowhere near its base, so only the
+// X-Base-Digest hint can land it on the shard whose base index holds
+// the inverse it needs. This is the federation half of the incremental
+// path: hinted deltas route to the base's home shard and serve as SMW
+// updates; unhinted ones land wherever their own digest says and fall
+// back to the full pipeline there.
+func TestBaseDigestRoutingServesIncrementally(t *testing.T) {
+	f := mustFleet(t, Config{Shards: 4, Shard: incrShardConfig()})
+	ctx := context.Background()
+
+	base := workload.DiagonallyDominant(48, 4242)
+	baseDigest, _ := f.Home(Request{Request: serve.Request{A: base}})
+	first, err := f.Do(ctx, Request{Request: serve.Request{A: base}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInverse(t, base, first.Out)
+
+	// Find a mutation whose own digest homes on a different shard, so a
+	// correct routing decision is observable.
+	var mut *matrix.Dense
+	var natural int
+	for seed := int64(1); ; seed++ {
+		m := workload.MutateRows(base, 2, seed)
+		_, home := f.Home(Request{Request: serve.Request{A: m}})
+		if home != first.Shard {
+			mut, natural = m, home
+			break
+		}
+		if seed > 64 {
+			t.Fatal("no mutation homed away from the base shard in 64 seeds")
+		}
+	}
+
+	hinted, err := f.Do(ctx, Request{Request: serve.Request{A: mut, BaseDigest: baseDigest}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hinted.Shard != first.Shard {
+		t.Fatalf("hinted delta routed to shard %d, base lives on %d", hinted.Shard, first.Shard)
+	}
+	if hinted.Source != "incremental" {
+		t.Fatalf("hinted delta source %q, want incremental", hinted.Source)
+	}
+	checkInverse(t, mut, hinted.Out)
+
+	// The same mutation unhinted goes to its natural shard, whose index
+	// has never seen the base: full pipeline, still correct.
+	unhinted, err := f.Do(ctx, Request{Request: serve.Request{A: mut.Clone()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unhinted.Shard != natural {
+		t.Fatalf("unhinted delta routed to shard %d, want natural home %d", unhinted.Shard, natural)
+	}
+	if unhinted.Source == "incremental" {
+		t.Fatal("unhinted delta on a cold shard cannot be incremental")
+	}
+	checkInverse(t, mut, unhinted.Out)
+
+	st := f.Snapshot()
+	if st.BaseRouted != 1 {
+		t.Fatalf("base_routed %d, want 1", st.BaseRouted)
+	}
+	if st.IncrUpdates != 1 {
+		t.Fatalf("incr_updates %d, want 1", st.IncrUpdates)
+	}
+}
+
+// The hint changes placement only, never the dedup/cache digest: the
+// same delta posted twice with the hint is a cache hit the second time.
+func TestBaseDigestHintKeepsCacheDigest(t *testing.T) {
+	f := mustFleet(t, Config{Shards: 2, Shard: incrShardConfig()})
+	ctx := context.Background()
+	base := workload.DiagonallyDominant(32, 515)
+	baseDigest, _ := f.Home(Request{Request: serve.Request{A: base}})
+	if _, err := f.Do(ctx, Request{Request: serve.Request{A: base}}); err != nil {
+		t.Fatal(err)
+	}
+	mut := workload.MutateRows(base, 1, 9)
+	r1, err := f.Do(ctx, Request{Request: serve.Request{A: mut, BaseDigest: baseDigest}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := f.Do(ctx, Request{Request: serve.Request{A: mut.Clone(), BaseDigest: baseDigest}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Source != "cache" {
+		t.Fatalf("repeat delta source %q, want cache", r2.Source)
+	}
+	if r2.Shard != r1.Shard {
+		t.Fatal("repeat delta left its shard")
 	}
 }

@@ -1,0 +1,118 @@
+package incr
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/lu"
+	"repro/internal/mapreduce"
+	"repro/internal/matrix"
+	"repro/internal/workload"
+)
+
+func distOpts(nodes int, root string) core.Options {
+	opts := core.DefaultOptions(nodes)
+	opts.NB = 32
+	opts.Root = root
+	return opts
+}
+
+func TestEngineUpdateMatchesSequential(t *testing.T) {
+	const n, k, nodes = 96, 4, 8
+	base := workload.DiagonallyDominant(n, 31)
+	next, rows := perturbRows(t, base, k, 33)
+	ainv, err := lu.Invert(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, v := RowDelta(base, next, rows)
+
+	fs := dfs.New(nodes, dfs.DefaultReplication)
+	eng := &Engine{FS: fs, Cluster: mapreduce.NewCluster(fs, nodes)}
+	got, rep, err := eng.UpdateCtx(context.Background(), ainv, u, v, 0, distOpts(nodes, "incrtest/seq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.JobsRun == 0 || !rep.Distributed {
+		t.Fatalf("distributed update ran %d jobs (distributed=%v)", rep.JobsRun, rep.Distributed)
+	}
+	want, err := lu.Invert(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(got, want); d > 1e-8 {
+		t.Fatalf("distributed SMW vs sequential invert differ by %g", d)
+	}
+	if r := SampledResidual(next, got, DefaultSampleCols); r > 1e-8 {
+		t.Fatalf("residual %g", r)
+	}
+}
+
+func TestEngineUpdateCanceledContext(t *testing.T) {
+	const n, nodes = 32, 4
+	base := workload.DiagonallyDominant(n, 3)
+	next, rows := perturbRows(t, base, 2, 4)
+	ainv, err := lu.Invert(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, v := RowDelta(base, next, rows)
+	fs := dfs.New(nodes, dfs.DefaultReplication)
+	eng := &Engine{FS: fs, Cluster: mapreduce.NewCluster(fs, nodes)}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := eng.UpdateCtx(ctx, ainv, u, v, 0, distOpts(nodes, "incrtest/cancel")); err == nil {
+		t.Fatal("canceled context ran to completion")
+	}
+}
+
+// The §7.4 replay invariant extends to the incremental path: a 1-kill
+// chaos plan during the distributed update must yield an inverse
+// bit-identical to the clean run — recovered multiply tasks re-place
+// their pieces deterministically, so which attempt computed a block
+// can never leak into the result.
+func TestEngineUpdateDeterministicUnderKill(t *testing.T) {
+	const n, k, nodes = 96, 4, 8
+	base := workload.DiagonallyDominant(n, 51)
+	next, rows := perturbRows(t, base, k, 53)
+	ainv, err := lu.Invert(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, v := RowDelta(base, next, rows)
+
+	run := func(ceng *chaos.Engine, fs *dfs.FS) *matrix.Dense {
+		t.Helper()
+		cl := mapreduce.NewCluster(fs, nodes)
+		if ceng != nil {
+			cl.Faults = ceng
+		}
+		eng := &Engine{FS: fs, Cluster: cl}
+		out, _, err := eng.UpdateCtx(context.Background(), ainv, u, v, 0, distOpts(nodes, "incrtest/chaos"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	clean := run(nil, dfs.New(nodes, dfs.DefaultReplication))
+	for seed := int64(1); seed <= 3; seed++ {
+		plan := chaos.RandomPlan(seed, chaos.PlanConfig{Nodes: nodes, Kills: 1, Horizon: 24, Restart: true})
+		fs := dfs.New(nodes, dfs.DefaultReplication)
+		ceng := chaos.New(fs, plan)
+		faulty := run(ceng, fs)
+		for i, got := range faulty.Data {
+			if math.Float64bits(got) != math.Float64bits(clean.Data[i]) {
+				t.Fatalf("seed %d: element %d differs: %g vs %g (plan: %s)",
+					seed, i, got, clean.Data[i], plan)
+			}
+		}
+		if ceng.Stats().Kills == 0 {
+			t.Fatalf("seed %d: plan injected no kill", seed)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package incr
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/lu"
+	"repro/internal/matrix"
+	"repro/internal/workload"
+)
+
+// perturbRows returns a copy of base with k distinct rows perturbed,
+// keeping the result diagonally dominant (hence invertible): the
+// off-diagonal entries shift and the diagonal is re-anchored above the
+// row's absolute off-diagonal sum.
+func perturbRows(t *testing.T, base *matrix.Dense, k int, seed int64) (*matrix.Dense, []int) {
+	t.Helper()
+	n := base.Rows
+	rng := rand.New(rand.NewSource(seed))
+	next := base.Clone()
+	rows := rng.Perm(n)[:k]
+	for _, r := range rows {
+		offsum := 0.0
+		for j := 0; j < n; j++ {
+			if j == r {
+				continue
+			}
+			v := next.At(r, j) + (rng.Float64()*2 - 1)
+			next.Set(r, j, v)
+			offsum += math.Abs(v)
+		}
+		sign := 1.0
+		if next.At(r, r) < 0 {
+			sign = -1
+		}
+		next.Set(r, r, sign*(offsum+1))
+	}
+	return next, rows
+}
+
+func TestUpdateMatchesSequentialInvert(t *testing.T) {
+	const n = 64
+	base := workload.DiagonallyDominant(n, 41)
+	ainv, err := lu.Invert(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 2, n / 8, n / 4} {
+		next, rows := perturbRows(t, base, k, int64(100+k))
+		u, v := RowDelta(base, next, rows)
+		got, err := Update(ainv, u, v, 0)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		want, err := lu.Invert(next)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if d := matrix.MaxAbsDiff(got, want); d > 1e-8 {
+			t.Fatalf("k=%d: SMW vs sequential invert differ by %g", k, d)
+		}
+		if r := SampledResidual(next, got, DefaultSampleCols); r > 1e-8 {
+			t.Fatalf("k=%d: residual %g", k, r)
+		}
+	}
+}
+
+// Rectangular updates: general dense U, V (n×k with k ≪ n), not row
+// selectors — the identity holds for any factor pair, and the engine
+// must too.
+func TestUpdateRectangularShapes(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{24, 1}, {24, 3}, {40, 5}, {64, 7}} {
+		base := workload.DiagonallyDominant(tc.n, int64(7*tc.n+tc.k))
+		ainv, err := lu.Invert(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(tc.n ^ tc.k)))
+		u := matrix.New(tc.n, tc.k)
+		v := matrix.New(tc.n, tc.k)
+		for i := range u.Data {
+			// Small factors keep A + UVᵀ comfortably nonsingular.
+			u.Data[i] = (rng.Float64()*2 - 1) / 4
+			v.Data[i] = (rng.Float64()*2 - 1) / 4
+		}
+		uvt, err := matrix.MulTransB(u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next, err := matrix.Add(base, uvt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Update(ainv, u, v, 0)
+		if err != nil {
+			t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
+		}
+		want, err := lu.Invert(next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := matrix.MaxAbsDiff(got, want); d > 1e-8 {
+			t.Fatalf("n=%d k=%d: SMW vs sequential invert differ by %g", tc.n, tc.k, d)
+		}
+	}
+}
+
+func TestUpdateZeroRankClones(t *testing.T) {
+	ainv := workload.DiagonallyDominant(8, 3)
+	got, err := Update(ainv, matrix.New(8, 0), matrix.New(8, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(got, ainv); d != 0 {
+		t.Fatalf("zero-rank update changed the inverse by %g", d)
+	}
+	got.Set(0, 0, 42)
+	if ainv.At(0, 0) == 42 {
+		t.Fatal("zero-rank update aliases its input")
+	}
+}
+
+// A = I with U = e1, V = -e1 makes the capacitance C = 1 + (-e1)ᵀe1 = 0:
+// A + UVᵀ is exactly singular and the typed error — not a panic, not a
+// garbage inverse — must come back.
+func TestUpdateSingularCapacitance(t *testing.T) {
+	n := 6
+	ainv := matrix.Identity(n)
+	u := matrix.New(n, 1)
+	v := matrix.New(n, 1)
+	u.Set(0, 0, 1)
+	v.Set(0, 0, -1)
+	_, err := Update(ainv, u, v, 0)
+	if !errors.Is(err, ErrCapacitance) {
+		t.Fatalf("want ErrCapacitance, got %v", err)
+	}
+}
+
+// A nearly singular 2×2 capacitance (condition ≈ 4e14) must trip the
+// conditioning ceiling even though the k×k solve itself succeeds.
+func TestUpdateIllConditionedCapacitance(t *testing.T) {
+	n := 6
+	ainv := matrix.Identity(n)
+	u := matrix.New(n, 2)
+	u.Set(0, 0, 1)
+	u.Set(1, 1, 1)
+	// C = I + VᵀU = [[1,1],[1,1+1e-14]]: det ≈ 1e-14.
+	v := matrix.New(n, 2)
+	v.Set(0, 0, 0) // C[0][0] = 1
+	v.Set(1, 0, 1) // C[0][1] = 1
+	v.Set(0, 1, 1) // C[1][0] = 1
+	v.Set(1, 1, 1e-14)
+	_, err := Update(ainv, u, v, 0)
+	if !errors.Is(err, ErrCapacitance) {
+		t.Fatalf("want ErrCapacitance, got %v", err)
+	}
+	// With the ceiling lifted the same update should go through.
+	if _, err := Update(ainv, u, v, 1e20); err != nil {
+		t.Fatalf("ceiling lifted: %v", err)
+	}
+}
+
+func TestUpdateShapeErrors(t *testing.T) {
+	ainv := matrix.Identity(4)
+	if _, err := Update(nil, matrix.New(4, 1), matrix.New(4, 1), 0); err == nil {
+		t.Fatal("nil A⁻¹ accepted")
+	}
+	if _, err := Update(matrix.New(4, 3), matrix.New(4, 1), matrix.New(4, 1), 0); err == nil {
+		t.Fatal("rectangular A⁻¹ accepted")
+	}
+	if _, err := Update(ainv, matrix.New(3, 1), matrix.New(4, 1), 0); err == nil {
+		t.Fatal("U row mismatch accepted")
+	}
+	if _, err := Update(ainv, matrix.New(4, 2), matrix.New(4, 1), 0); err == nil {
+		t.Fatal("U/V column mismatch accepted")
+	}
+}
+
+func TestRowDeltaReconstructs(t *testing.T) {
+	base := workload.DiagonallyDominant(16, 9)
+	next, rows := perturbRows(t, base, 3, 77)
+	u, v := RowDelta(base, next, rows)
+	uvt, err := matrix.MulTransB(u, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := matrix.Add(base, uvt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(sum, next); d != 0 {
+		t.Fatalf("A + UVᵀ differs from A' by %g", d)
+	}
+}
+
+func TestGuardRejectsCorruptedInverse(t *testing.T) {
+	a := workload.DiagonallyDominant(32, 5)
+	x, err := lu.Invert(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Guard(a, x, 0, 0); err != nil {
+		t.Fatalf("true inverse rejected: %v", err)
+	}
+	// Column 0 is always in the deterministic sample set.
+	x.Set(3, 0, x.At(3, 0)+1)
+	if err := Guard(a, x, 0, 0); !errors.Is(err, ErrResidual) {
+		t.Fatalf("want ErrResidual, got %v", err)
+	}
+}
+
+func TestSampledResidualNonFinite(t *testing.T) {
+	a := matrix.Identity(4)
+	x := matrix.Identity(4)
+	x.Set(1, 1, math.NaN())
+	if r := SampledResidual(a, x, 4); !math.IsInf(r, 1) {
+		t.Fatalf("NaN column gave residual %g, want +Inf", r)
+	}
+}

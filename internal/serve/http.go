@@ -26,9 +26,11 @@ const DefaultMaxBodyBytes = 64 << 20
 //
 //	POST /invert    body = square matrix (binary by default, text with
 //	                Content-Type: text/plain); query params timeout
-//	                (Go duration), nodes, nb, priority. Responds with the
-//	                inverse in the same format, plus X-Source/X-Jobs/
-//	                X-Slot-Wait headers.
+//	                (Go duration), nodes, nb, priority; optional
+//	                X-Base-Digest header naming a previously served base
+//	                matrix this request mutates. Responds with the
+//	                inverse in the same format, plus X-Source/
+//	                X-Serve-Source/X-Jobs/X-Slot-Wait headers.
 //	POST /lstsq     body = tall matrix A immediately followed by the
 //	                right-hand side b, both in the binary format (the
 //	                fixed-size header makes the boundary self-describing;
@@ -101,6 +103,12 @@ func DecodeInvertRequest(w http.ResponseWriter, r *http.Request) (req Request, c
 	if !ok {
 		return Request{}, nil, nil, false, false
 	}
+
+	// An optional X-Base-Digest names a previously served base matrix
+	// this request is a low-rank mutation of: it steers the incremental
+	// path's probe and the federation tier's routing. A stale hint is
+	// harmless (the probe falls back to a fingerprint scan).
+	req.BaseDigest = r.Header.Get("X-Base-Digest")
 
 	text = strings.HasPrefix(r.Header.Get("Content-Type"), "text/plain")
 	body := http.MaxBytesReader(w, r.Body, DefaultMaxBodyBytes)
@@ -234,6 +242,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request, kind Kind) 
 // format with the X-Source / X-Jobs / X-Elapsed / X-Slot-Wait headers.
 func EncodeInvertResponse(w http.ResponseWriter, text bool, res *Result) {
 	w.Header().Set("X-Source", res.Source)
+	// X-Serve-Source duplicates X-Source under the name the incremental
+	// path's clients and smoke tests assert on ("pipeline", "cache",
+	// "dedup", "incremental"); both are kept for compatibility.
+	w.Header().Set("X-Serve-Source", res.Source)
 	if res.Rep != nil {
 		w.Header().Set("X-Jobs", strconv.Itoa(res.Rep.JobsRun))
 		w.Header().Set("X-Elapsed", res.Rep.Elapsed.String())

@@ -1,0 +1,80 @@
+package serve_test
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/incr"
+	"repro/internal/lu"
+	"repro/internal/matrix"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// An update the residual guardrail rejects is transparently recomputed
+// by the full pipeline: with an impossibly tight tolerance every SMW
+// update fails the sampled ‖A'·X − I‖ check, so the delta request must
+// come back correct, marked "pipeline", with the reject and fallback
+// counters ticked and no update counted.
+func TestHTTPIncrementalResidualReject(t *testing.T) {
+	opts := core.DefaultOptions(4)
+	opts.NB = 16
+	s, hs := startServer(t, serve.Config{
+		Concurrency: 2,
+		QueueDepth:  16,
+		CacheBytes:  32 << 20,
+		Opts:        opts,
+		Incr:        incr.Config{Enabled: true, ResidualTol: 1e-300},
+	})
+	client := hs.Client()
+	invertURL := hs.URL + "/invert"
+
+	base := workload.DiagonallyDominant(48, 9300)
+	if resp, _ := postInvert(t, client, invertURL, base, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("base invert: status %d", resp.StatusCode)
+	}
+	digest := serve.KeyFor(serve.Request{A: base}, opts)
+	mut := workload.MutateRows(base, 1, 42)
+	resp, body := postInvert(t, client, invertURL, mut, map[string]string{"X-Base-Digest": digest})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delta invert: status %d", resp.StatusCode)
+	}
+	if src := resp.Header.Get("X-Serve-Source"); src != "pipeline" {
+		t.Fatalf("guard-rejected delta served from %q, want pipeline fallback", src)
+	}
+	got, err := matrix.ReadBinary(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := lu.Invert(mut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(got, want); d > 1e-8 {
+		t.Fatalf("fallback inverse off by %g", d)
+	}
+
+	st := s.Snapshot()
+	if st.Incr == nil {
+		t.Fatal("stats missing incr section")
+	}
+	if st.Incr.Updates != 0 {
+		t.Fatalf("rejected update still counted: %+v", st.Incr)
+	}
+	if st.Incr.ResidualRejects != 1 || st.Incr.Fallbacks != 1 {
+		t.Fatalf("want 1 residual reject and 1 fallback, got %+v", st.Incr)
+	}
+
+	// The router-facing probes the federation layer leans on.
+	if got := s.BaseOptions(); got.Nodes != opts.Nodes || got.NB != opts.NB {
+		t.Fatalf("BaseOptions = %+v, want nodes=%d nb=%d", got, opts.Nodes, opts.NB)
+	}
+	if depth, capacity := s.QueueLoad(); depth != 0 || capacity != 16 {
+		t.Fatalf("QueueLoad = %d/%d, want 0/16", depth, capacity)
+	}
+	if !s.Healthy() {
+		t.Fatal("idle server reports unhealthy")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/dfs"
+	"repro/internal/incr"
 	"repro/internal/mapreduce"
 	"repro/internal/matrix"
 	"repro/internal/obs"
@@ -78,6 +79,12 @@ type Config struct {
 	// and the TSQR pipelines (tsqr.* spans), exportable as a Chrome
 	// trace. Nil disables tracing at zero cost.
 	Tracer *obs.Tracer
+	// Incr configures the rank-k incremental inversion path
+	// (internal/incr): on a cache miss, a recently inverted base matrix
+	// within Incr.KMax changed rows is turned into the requested
+	// inverse by a Sherman–Morrison–Woodbury update instead of a full
+	// pipeline run. The zero value disables the path.
+	Incr incr.Config
 }
 
 // Kind selects the computation a request asks for. The zero value is
@@ -111,6 +118,14 @@ type Request struct {
 	Nodes    int
 	NB       int
 	Priority int
+	// BaseDigest is an optional client hint (HTTP X-Base-Digest): the
+	// digest of a previously served base matrix this request is a
+	// low-rank mutation of. It steers the incremental path's probe
+	// straight to that base and, in the federation tier, routes the
+	// request to the base's home shard. It is deliberately NOT part of
+	// the dedup/cache key — the same matrix with or without the hint
+	// yields the same result, and existing digests stay byte-compatible.
+	BaseDigest string
 }
 
 // Result is a completed computation.
@@ -142,6 +157,9 @@ type flight struct {
 	out    *matrix.Dense
 	rep    *core.Report
 	err    error
+	// src is set by execute() when the leader's computation took a
+	// non-default path ("incremental"); empty means the pipeline ran.
+	src string
 
 	mu   sync.Mutex
 	refs int
@@ -178,7 +196,8 @@ type Server struct {
 	cluster *mapreduce.Cluster
 	met     *obs.Registry
 	cache   *resultCache
-	chaos   *chaos.Engine // nil unless Config.Chaos is set
+	chaos   *chaos.Engine   // nil unless Config.Chaos is set
+	bases   *incr.BaseIndex // nil unless Config.Incr.Enabled
 
 	queue    chan *flight
 	stop     chan struct{}
@@ -210,6 +229,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.NewRegistry()
 	}
+	if cfg.Incr.Enabled {
+		cfg.Incr = cfg.Incr.WithDefaults()
+	}
 	fs := dfs.New(cfg.Opts.Nodes, dfs.DefaultReplication)
 	cl := mapreduce.NewCluster(fs, cfg.Opts.Nodes)
 	cl.Metrics = cfg.Metrics
@@ -237,6 +259,9 @@ func New(cfg Config) (*Server, error) {
 		queue:   make(chan *flight, cfg.QueueDepth),
 		stop:    make(chan struct{}),
 		flights: make(map[string]*flight),
+	}
+	if cfg.Incr.Enabled {
+		s.bases = incr.NewBaseIndex(cfg.Incr.MaxBases)
 	}
 	for i := 0; i < cfg.Concurrency; i++ {
 		s.workers.Add(1)
@@ -373,10 +398,8 @@ func (s *Server) Do(ctx context.Context, req Request) (*Result, error) {
 		return nil, err
 	}
 	defer f.release()
-	source := "pipeline"
 	if !leader {
 		s.met.Counter("serve.dedup_hits").Add(1)
-		source = "dedup"
 	}
 
 	select {
@@ -388,6 +411,16 @@ func (s *Server) Do(ctx context.Context, req Request) (*Result, error) {
 	if f.err != nil {
 		s.met.Counter("serve.failed").Add(1)
 		return nil, f.err
+	}
+	// The leader reports how the computation actually ran (execute()
+	// upgrades src to "incremental" when the SMW path served it);
+	// joiners attached to an in-flight computation regardless of path.
+	source := "dedup"
+	if leader {
+		source = "pipeline"
+		if f.src != "" {
+			source = f.src
+		}
 	}
 	s.met.Counter("serve.completed").Add(1)
 	s.met.Histogram("serve.e2e_latency").Observe(time.Since(start))
@@ -457,10 +490,18 @@ func (s *Server) execute(f *flight) {
 		case KindLstsq, KindPinv:
 			f.out, f.rep, f.err = s.executeSolve(f)
 		default:
-			if p, perr := core.NewPipelineOn(f.opts, s.fs, s.cluster); perr != nil {
+			if out, rep, ok := s.tryIncremental(f); ok {
+				f.out, f.rep, f.src = out, rep, "incremental"
+			} else if p, perr := core.NewPipelineOn(f.opts, s.fs, s.cluster); perr != nil {
 				f.err = perr
 			} else {
 				f.out, f.rep, f.err = p.InvertCtx(f.ctx, f.req.A)
+			}
+			if f.err == nil && s.bases != nil {
+				// Every served inverse — pipeline or update — becomes a
+				// probe candidate, so mutation chains A → A' → A'' keep
+				// finding a rank-k-near base.
+				s.bases.Add(f.key, f.req.A, f.out)
 			}
 		}
 		s.met.Histogram("serve.pipeline_latency").Observe(time.Since(begin))
@@ -481,6 +522,87 @@ func (s *Server) execute(f *flight) {
 	}
 	s.mu.Unlock()
 	close(f.done)
+}
+
+// tryIncremental attempts to serve a cache-missed inversion as a
+// rank-k Sherman–Morrison–Woodbury update against a recently served
+// base inverse. The attempt is strictly best-effort: any failure —
+// no base within KMax rows, a cost-model decline, a singular or
+// ill-conditioned capacitance, a residual-guardrail reject, or a
+// distributed-pass error — returns ok=false and the caller runs the
+// full pipeline, so the incremental path can only ever add latency,
+// never wrong answers.
+func (s *Server) tryIncremental(f *flight) (*matrix.Dense, *core.Report, bool) {
+	if s.bases == nil {
+		return nil, nil, false
+	}
+	n := f.req.A.Rows
+	kmax := s.cfg.Incr.EffectiveKMax(n)
+	s.met.Counter("incr.probes").Add(1)
+	base, ok := s.probeBase(f.req, kmax)
+	if !ok {
+		return nil, nil, false
+	}
+	// The sketch proposed the base; the exact diff is authoritative
+	// (a fingerprint collision could hide a changed row — the guardrail
+	// below catches the resulting bad update).
+	rows, ok := incr.DiffRowsExact(base.A, f.req.A, kmax)
+	if !ok || len(rows) == 0 {
+		s.met.Counter("incr.delta_too_large").Add(1)
+		return nil, nil, false
+	}
+	s.met.Counter("incr.probe_hits").Add(1)
+	choice := costmodel.ChooseUpdate(costmodel.ServingCluster(f.opts.Nodes),
+		n, len(rows), f.opts.NB, len(s.queue))
+	if !choice.Incremental() {
+		s.met.Counter("incr.declined").Add(1)
+		return nil, nil, false
+	}
+	u, v := incr.RowDelta(base.A, f.req.A, rows)
+	begin := time.Now()
+	var x *matrix.Dense
+	irep := &incr.Report{Rank: len(rows)}
+	var err error
+	if choice.Strategy == costmodel.UpdateDistributed {
+		eng := &incr.Engine{FS: s.fs, Cluster: s.cluster, Tracer: s.cfg.Tracer, Metrics: s.met}
+		x, irep, err = eng.UpdateCtx(f.ctx, base.Inv, u, v, s.cfg.Incr.CondMax, f.opts)
+	} else {
+		x, err = incr.Update(base.Inv, u, v, s.cfg.Incr.CondMax)
+	}
+	if err == nil {
+		err = incr.Guard(f.req.A, x, s.cfg.Incr.ResidualTol, s.cfg.Incr.SampleCols)
+	}
+	if err != nil {
+		if errors.Is(err, incr.ErrResidual) {
+			s.met.Counter("incr.residual_rejects").Add(1)
+		}
+		s.met.Counter("incr.fallbacks").Add(1)
+		return nil, nil, false
+	}
+	s.met.Counter("incr.updates").Add(1)
+	if irep.Distributed {
+		s.met.Counter("incr.distributed").Add(1)
+	}
+	elapsed := time.Since(begin)
+	s.met.Histogram("incr.update_latency").Observe(elapsed)
+	rep := &core.Report{Order: n, NB: f.opts.NB, Nodes: f.opts.Nodes,
+		JobsRun: irep.JobsRun, Elapsed: elapsed}
+	return x, rep, true
+}
+
+// probeBase resolves the update candidate: the client-named base when
+// the X-Base-Digest hint matches an indexed same-shape entry, else a
+// fingerprint scan of the whole index.
+func (s *Server) probeBase(req Request, kmax int) (*incr.Base, bool) {
+	if req.BaseDigest != "" {
+		if b, ok := s.bases.Lookup(req.BaseDigest); ok &&
+			b.A.Rows == req.A.Rows && b.A.Cols == req.A.Cols {
+			return b, true
+		}
+		// A stale or foreign hint degrades to the scan, never to an error.
+	}
+	b, _, ok := s.bases.Probe(req.A, kmax)
+	return b, ok
 }
 
 // executeSolve runs a tall-matrix request (lstsq or pinv): the cost
@@ -599,11 +721,14 @@ type Stats struct {
 	Rejected     int64 `json:"rejected"`
 	DedupHits    int64 `json:"dedup_hits"`
 	CacheHits    int64 `json:"cache_hits"`
-	Completed    int64 `json:"completed"`
-	Failed       int64 `json:"failed"`
-	Canceled     int64 `json:"canceled"`
-	Expired      int64 `json:"expired"`
-	Draining     bool  `json:"draining"`
+	CacheMisses  int64 `json:"cache_misses"`
+	// CacheHitRate is hits / (hits + misses), 0 before any lookup.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	Completed    int64   `json:"completed"`
+	Failed       int64   `json:"failed"`
+	Canceled     int64   `json:"canceled"`
+	Expired      int64   `json:"expired"`
+	Draining     bool    `json:"draining"`
 	// Scheduler is the shared cluster's slot-pool snapshot: capacity is
 	// m0, peak is the concurrency high-water mark (never above capacity
 	// by the scheduler invariant), and queue_depth counts task attempts
@@ -620,6 +745,9 @@ type Stats struct {
 	// Chaos reports injected-fault counters when the server runs under a
 	// chaos plan; nil otherwise.
 	Chaos *chaos.Stats `json:"chaos,omitempty"`
+	// Incr reports the incremental-inversion counters when the path is
+	// enabled; nil otherwise.
+	Incr *incr.Stats `json:"incr,omitempty"`
 }
 
 // Snapshot returns current serving stats.
@@ -637,6 +765,25 @@ func (s *Server) Snapshot() Stats {
 		st := s.chaos.Stats()
 		chaosStats = &st
 	}
+	var incrStats *incr.Stats
+	if s.bases != nil {
+		incrStats = &incr.Stats{
+			Probes:          s.met.Counter("incr.probes").Value(),
+			ProbeHits:       s.met.Counter("incr.probe_hits").Value(),
+			Updates:         s.met.Counter("incr.updates").Value(),
+			Distributed:     s.met.Counter("incr.distributed").Value(),
+			Declined:        s.met.Counter("incr.declined").Value(),
+			Fallbacks:       s.met.Counter("incr.fallbacks").Value(),
+			ResidualRejects: s.met.Counter("incr.residual_rejects").Value(),
+			BasesIndexed:    s.bases.Len(),
+		}
+	}
+	hits := s.met.Counter("serve.cache_hits").Value()
+	misses := s.met.Counter("serve.cache_misses").Value()
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
 	return Stats{
 		NodesAlive:     s.fs.AliveNodes(),
 		Chaos:          chaosStats,
@@ -649,7 +796,10 @@ func (s *Server) Snapshot() Stats {
 		Admitted:       s.met.Counter("serve.admitted").Value(),
 		Rejected:       s.met.Counter("serve.rejected").Value(),
 		DedupHits:      s.met.Counter("serve.dedup_hits").Value(),
-		CacheHits:      s.met.Counter("serve.cache_hits").Value(),
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		CacheHitRate:   hitRate,
+		Incr:           incrStats,
 		Completed:      s.met.Counter("serve.completed").Value(),
 		Failed:         s.met.Counter("serve.failed").Value(),
 		Canceled:       s.met.Counter("serve.canceled").Value(),

@@ -33,6 +33,25 @@ type RequestSpec struct {
 	// Hot marks specs drawn from the mix's fixed hot-key set (skewed
 	// traffic); hot draws are also duplicates by construction.
 	Hot bool
+	// DeltaRank, when > 0, marks an update request: the matrix is the
+	// (Order, Seed) base with DeltaRank rows perturbed under DeltaSeed
+	// (see MutateRows). The base spec — and hence its serving digest —
+	// is recoverable via Base(), which is what lets a delta-aware client
+	// attach an X-Base-Digest hint.
+	DeltaRank int
+	DeltaSeed int64
+}
+
+// Delta reports whether the spec is a mutated-base (update) request.
+func (r RequestSpec) Delta() bool { return r.DeltaRank > 0 }
+
+// Base returns the unmutated spec a delta request derives from; for
+// non-delta specs it returns the spec itself with traffic markers
+// cleared.
+func (r RequestSpec) Base() RequestSpec {
+	r.DeltaRank, r.DeltaSeed = 0, 0
+	r.Dup, r.Hot = false, false
+	return r
 }
 
 // Tall reports whether the spec is a rectangular (least-squares) request.
@@ -47,7 +66,11 @@ func (r RequestSpec) Build() *matrix.Dense {
 	if r.Tall() {
 		return RandomRect(r.Order, r.Cols, r.Seed)
 	}
-	return DiagonallyDominant(r.Order, r.Seed)
+	base := DiagonallyDominant(r.Order, r.Seed)
+	if r.Delta() {
+		return MutateRows(base, r.DeltaRank, r.DeltaSeed)
+	}
+	return base
 }
 
 // Rhs materializes the right-hand side paired with a tall spec's matrix:
@@ -81,6 +104,17 @@ type Mix struct {
 	// their digest-home shards in a federated deployment.
 	HotKeys int
 	HotProb float64
+	// DeltaProb, when > 0, makes each request a delta mutation with that
+	// probability: a previously issued square matrix (hot keys first,
+	// falling back to the recent window) perturbed on DeltaRank rows.
+	// This is the update-traffic shape the incremental inversion path
+	// serves: the base inverse is already cached, the mutated matrix is
+	// a rank-k row delta away.
+	DeltaProb float64
+	// DeltaRank is the number of rows each delta mutation perturbs;
+	// 0 means 1. Ranks are clamped to a quarter of the base order, the
+	// serving layer's own update budget.
+	DeltaRank int
 }
 
 // DefaultMix is a serving-scale mix: mostly small matrices with a heavy
@@ -209,8 +243,51 @@ func (st *MixStream) drawShape() (order, cols int) {
 	return order, cols
 }
 
+// nextDelta draws a delta-mutation request derived from an already
+// issued square spec, preferring the hot set (whose bases the server has
+// almost certainly inverted and cached) over the recent window. It
+// reports false when no square base exists yet.
+func (st *MixStream) nextDelta() (RequestSpec, bool) {
+	cands := squareSpecs(st.hot)
+	if len(cands) == 0 {
+		cands = squareSpecs(st.recent)
+	}
+	if len(cands) == 0 {
+		return RequestSpec{}, false
+	}
+	base := cands[st.rng.Intn(len(cands))]
+	k := st.mix.DeltaRank
+	if k <= 0 {
+		k = 1
+	}
+	if budget := base.Order / 4; budget >= 1 && k > budget {
+		k = budget
+	}
+	spec := base.Base()
+	spec.DeltaRank = k
+	spec.DeltaSeed = st.rng.Int63()
+	return spec, true
+}
+
+func squareSpecs(specs []RequestSpec) []RequestSpec {
+	var out []RequestSpec
+	for _, sp := range specs {
+		if !sp.Tall() {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
 // Next draws the next request of the stream.
 func (st *MixStream) Next() RequestSpec {
+	// The delta branch draws from the rng only when enabled, so streams
+	// with DeltaProb 0 are byte-identical to pre-delta streams.
+	if st.mix.DeltaProb > 0 && st.rng.Float64() < st.mix.DeltaProb {
+		if spec, ok := st.nextDelta(); ok {
+			return spec
+		}
+	}
 	if len(st.hot) > 0 && st.rng.Float64() < st.mix.HotProb {
 		return st.hot[st.rng.Intn(len(st.hot))]
 	}

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/matrix"
@@ -247,6 +248,142 @@ func TestMixWithoutHotKeysUnchanged(t *testing.T) {
 	for _, sp := range DefaultMix().Stream(1).Take(500) {
 		if sp.Hot {
 			t.Fatal("Hot spec from a mix with no hot keys")
+		}
+	}
+}
+
+func TestMutateRowsPerturbsExactlyK(t *testing.T) {
+	base := DiagonallyDominant(32, 17)
+	next := MutateRows(base, 4, 99)
+	want := map[int]bool{}
+	for _, r := range MutatedRows(32, 4, 99) {
+		want[r] = true
+	}
+	changed := 0
+	for i := 0; i < 32; i++ {
+		diff := false
+		for j := 0; j < 32; j++ {
+			if base.At(i, j) != next.At(i, j) {
+				diff = true
+				break
+			}
+		}
+		if diff {
+			changed++
+			if !want[i] {
+				t.Fatalf("row %d changed but was not in MutatedRows", i)
+			}
+		}
+	}
+	if changed != 4 {
+		t.Fatalf("%d rows changed, want 4", changed)
+	}
+	// Mutation preserves diagonal dominance (hence invertibility).
+	for i := 0; i < 32; i++ {
+		var off float64
+		for j := 0; j < 32; j++ {
+			if j != i {
+				off += math.Abs(next.At(i, j))
+			}
+		}
+		if math.Abs(next.At(i, i)) <= off {
+			t.Fatalf("row %d lost diagonal dominance", i)
+		}
+	}
+	// Deterministic, and the base is untouched.
+	if !matrix.Equal(next, MutateRows(base, 4, 99), 0) {
+		t.Fatal("same (base, k, seed) mutated differently")
+	}
+	if !matrix.Equal(base, DiagonallyDominant(32, 17), 0) {
+		t.Fatal("MutateRows modified its input")
+	}
+	if !matrix.Equal(base, MutateRows(base, 0, 99), 0) {
+		t.Fatal("k=0 mutation is not the identity")
+	}
+}
+
+func TestMixDeltaStream(t *testing.T) {
+	m := Mix{
+		Entries:   []MixEntry{{Order: 24, Weight: 1}, {Order: 40, Weight: 1}},
+		HotKeys:   3,
+		HotProb:   0.3,
+		DeltaProb: 0.4,
+		DeltaRank: 2,
+	}
+	const n = 1000
+	specs := m.Stream(8).Take(n)
+	// Collect every plainly issued square base over the whole stream
+	// first: a hot key may be delta-mutated before its own first plain
+	// draw, but over 1000 requests each hot key is issued many times.
+	bases := map[[2]int64]bool{}
+	for _, sp := range specs {
+		if !sp.Delta() && !sp.Tall() {
+			bases[[2]int64{int64(sp.Order), sp.Seed}] = true
+		}
+	}
+	deltas := 0
+	for _, sp := range specs {
+		if !sp.Delta() {
+			continue
+		}
+		deltas++
+		if sp.DeltaRank != 2 {
+			t.Fatalf("delta rank %d, want 2", sp.DeltaRank)
+		}
+		if sp.Dup || sp.Hot {
+			t.Fatalf("delta spec carries traffic markers: %+v", sp)
+		}
+		b := sp.Base()
+		if b.Delta() {
+			t.Fatal("Base() of a delta spec is still a delta")
+		}
+		if !bases[[2]int64{int64(b.Order), b.Seed}] {
+			t.Fatalf("delta %+v derives from a base never issued", sp)
+		}
+		// The delta matrix differs from its base by exactly DeltaRank rows.
+		got, want := sp.Build(), MutateRows(b.Build(), sp.DeltaRank, sp.DeltaSeed)
+		if !matrix.Equal(got, want, 0) {
+			t.Fatal("delta Build() does not match MutateRows of the base")
+		}
+	}
+	frac := float64(deltas) / n
+	if frac < 0.3 || frac > 0.5 {
+		t.Fatalf("delta fraction %.3f, want ~0.4", frac)
+	}
+	// Determinism under the same seed.
+	again := m.Stream(8).Take(n)
+	for i := range specs {
+		if specs[i] != again[i] {
+			t.Fatalf("stream diverged at %d: %+v vs %+v", i, specs[i], again[i])
+		}
+	}
+}
+
+func TestMixDeltaRankClampedToBudget(t *testing.T) {
+	m := Mix{
+		Entries:   []MixEntry{{Order: 16, Weight: 1}},
+		HotKeys:   1,
+		HotProb:   0.2,
+		DeltaProb: 0.5,
+		DeltaRank: 32, // far beyond 16/4
+	}
+	for _, sp := range m.Stream(3).Take(200) {
+		if sp.Delta() && sp.DeltaRank != 4 {
+			t.Fatalf("delta rank %d not clamped to order/4", sp.DeltaRank)
+		}
+	}
+}
+
+func TestMixZeroDeltaProbUnchangedStream(t *testing.T) {
+	// DeltaProb 0 must not consume rng draws: streams are byte-identical
+	// to pre-delta ones, so recorded benchmark seeds stay comparable.
+	base := Mix{Entries: []MixEntry{{Order: 16, Weight: 1}}, DupProb: 0.3}
+	withField := base
+	withField.DeltaRank = 5 // rank without probability is inert
+	a, b := base.Stream(4).Take(100), withField.Stream(4).Take(100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("inert delta config changed the stream at %d", i)
 		}
 	}
 }

@@ -64,6 +64,60 @@ func DiagonallyDominant(n int, seed int64) *matrix.Dense {
 	return m
 }
 
+// MutatedRows returns the row indices MutateRows perturbs for an order-n
+// matrix under (k, seed) — exposed so callers (tests, delta-aware
+// clients) can predict which rows a mutation touched without diffing.
+func MutatedRows(n, k int, seed int64) []int {
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Perm(n)[:k]
+}
+
+// MutateRows returns a copy of base with k distinct rows perturbed, the
+// generator behind delta-mutation serving traffic: the off-diagonal
+// entries of each chosen row shift by Uniform(-1,1) and the diagonal is
+// re-anchored just above the row's absolute off-diagonal sum, so a
+// mutated DiagonallyDominant matrix stays diagonally dominant (hence
+// invertible) while differing from its base by an exactly rank-k row
+// delta. Equal (base, k, seed) triples yield bit-identical results.
+func MutateRows(base *matrix.Dense, k int, seed int64) *matrix.Dense {
+	next := base.Clone()
+	n := base.Rows
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return next
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for _, r := range rng.Perm(n)[:k] {
+		var offsum float64
+		row := next.Row(r)
+		for j := range row {
+			if j == r {
+				continue
+			}
+			row[j] += rng.Float64()*2 - 1
+			if row[j] < 0 {
+				offsum -= row[j]
+			} else {
+				offsum += row[j]
+			}
+		}
+		sign := 1.0
+		if row[r] < 0 {
+			sign = -1
+		}
+		row[r] = sign * (offsum + 1)
+	}
+	return next
+}
+
 // SPD returns a random symmetric positive definite matrix B*B^T + n*I.
 // Used by tests exercising the special-matrix discussion of Section 3.
 func SPD(n int, seed int64) *matrix.Dense {
